@@ -1,0 +1,180 @@
+package gluon_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§5). Each iteration regenerates the full experiment at a reduced scale;
+// cmd/gluon-bench runs the same code at presentation scale and prints the
+// rows. Per-iteration reported metrics make the headline comparisons
+// visible in -bench output:
+//
+//	unopt-bytes/osti-bytes   Figure 10's volume reduction
+//	gemini-bytes/gluon-bytes Figure 8(b)'s baseline gap
+//
+// See DESIGN.md §5 for the experiment index and EXPERIMENTS.md for the
+// recorded paper-vs-measured outcomes.
+
+import (
+	"io"
+	"testing"
+
+	"gluon/internal/bench"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+)
+
+// benchParams sizes the experiments for benchmarking: large enough that
+// communication dominates as in the paper, small enough for -bench runs.
+func benchParams() bench.Params {
+	p := bench.TestParams()
+	p.Scale = 12
+	p.EdgeFactor = 16
+	p.Hosts = []int{1, 2, 4}
+	p.Devices = []int{1, 2, 4}
+	return p
+}
+
+func BenchmarkTable1InputProperties(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table1(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Partitioning(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table2(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3BestSystems(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table3(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4SingleHost(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table4(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable5DevicePolicies(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Table5(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure8Scaling(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure8(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure9IrGLScaling(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure9(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10OptBreakdown(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Figure10(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationEncodings runs the adaptive-vs-fixed metadata encoding
+// ablation (design choice behind §4.2).
+func BenchmarkAblationEncodings(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationEncodings(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSubsets runs the structural-subset ablation per policy
+// (design choice behind §3.2).
+func BenchmarkAblationSubsets(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationSubsets(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOptimizationVolume reports the Figure 10 headline numbers as
+// custom metrics: bytes moved per run under UNOPT and OSTI for bfs.
+func BenchmarkOptimizationVolume(b *testing.B) {
+	p := benchParams()
+	wl, err := bench.NewWorkload("rmat", p, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var unoptBytes, ostiBytes uint64
+	for i := 0; i < b.N; i++ {
+		mu, err := bench.RunSpec(bench.Spec{System: bench.DGalois, Benchmark: "bfs",
+			Hosts: 4, Policy: partition.CVC, Opt: gluon.Unopt()}, wl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mo, err := bench.RunSpec(bench.Spec{System: bench.DGalois, Benchmark: "bfs",
+			Hosts: 4, Policy: partition.CVC, Opt: gluon.Opt()}, wl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		unoptBytes, ostiBytes = mu.CommBytes, mo.CommBytes
+	}
+	b.ReportMetric(float64(unoptBytes), "unopt-bytes")
+	b.ReportMetric(float64(ostiBytes), "osti-bytes")
+	b.ReportMetric(float64(unoptBytes)/float64(ostiBytes), "volume-reduction-x")
+}
+
+// BenchmarkBaselineVolumeGap reports the Figure 8(b) headline: baseline
+// bytes versus D-Galois bytes for bfs on 4 hosts.
+func BenchmarkBaselineVolumeGap(b *testing.B) {
+	p := benchParams()
+	wl, err := bench.NewWorkload("rmat", p, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gemBytes, galBytes uint64
+	for i := 0; i < b.N; i++ {
+		mg, err := bench.RunSpec(bench.Spec{System: bench.Gemini, Benchmark: "bfs", Hosts: 4}, wl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		md, err := bench.RunSpec(bench.Spec{System: bench.DGalois, Benchmark: "bfs",
+			Hosts: 4, Policy: partition.CVC, Opt: gluon.Opt()}, wl, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gemBytes, galBytes = mg.CommBytes, md.CommBytes
+	}
+	b.ReportMetric(float64(gemBytes), "gemini-bytes")
+	b.ReportMetric(float64(galBytes), "gluon-bytes")
+	b.ReportMetric(float64(gemBytes)/float64(galBytes), "baseline-gap-x")
+}

@@ -1,0 +1,71 @@
+// Command gluon-gen emits the Gluon synchronization boilerplate for a node
+// field — the Figure 5 structs the paper's Galois compiler generates from
+// the operator's field accesses (§3.3).
+//
+// Usage:
+//
+//	gluon-gen -package myapp -field dist -type uint32 -op min -id 1 \
+//	          -write dst -read src
+//	gluon-gen -package myapp -field contrib -type float64 -op add -id 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gluon/internal/gluon"
+	"gluon/internal/vprog"
+)
+
+func main() {
+	var (
+		pkg    = flag.String("package", "main", "package name for the generated file")
+		field  = flag.String("field", "dist", "field name")
+		typ    = flag.String("type", "uint32", "element type (uint32|uint64|int32|int64|float32|float64)")
+		op     = flag.String("op", "min", "reduction: min | add")
+		id     = flag.Uint("id", 1, "gluon field ID")
+		write  = flag.String("write", "dst", "write location: src | dst | any")
+		read   = flag.String("read", "src", "read location: src | dst | any")
+		output = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	loc := func(s string) gluon.Location {
+		switch s {
+		case "src":
+			return gluon.AtSource
+		case "dst":
+			return gluon.AtDestination
+		default:
+			return gluon.Anywhere
+		}
+	}
+	src, err := vprog.Generate(vprog.GenSpec{
+		Package:  *pkg,
+		Operator: vprog.Operator{Name: *field + "-op", Style: vprog.Push},
+		Fields: []vprog.GenField{{
+			FieldUse: vprog.FieldUse{
+				Name:      *field,
+				WrittenAt: loc(*write),
+				ReadAt:    loc(*read),
+				Reduction: true,
+			},
+			GoType: *typ,
+			Op:     vprog.Reduction(*op),
+			ID:     uint32(*id),
+		}},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gluon-gen:", err)
+		os.Exit(1)
+	}
+	if *output == "" {
+		os.Stdout.Write(src)
+		return
+	}
+	if err := os.WriteFile(*output, src, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "gluon-gen:", err)
+		os.Exit(1)
+	}
+}

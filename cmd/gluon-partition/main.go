@@ -1,0 +1,130 @@
+// Command gluon-partition inspects what each partitioning policy does to a
+// graph: replication factor, edge balance, mirror counts, and the
+// structural properties Gluon's communication optimizer exploits (how many
+// mirrors have incoming/outgoing edges under each policy).
+//
+// Usage:
+//
+//	gluon-partition -scale 18 -hosts 8
+//	gluon-partition -input edges.txt -hosts 16 -policy cvc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gluon/internal/generate"
+	"gluon/internal/gio"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+)
+
+func main() {
+	var (
+		scale  = flag.Uint("scale", 16, "generated graphs have 2^scale nodes")
+		ef     = flag.Uint("edgefactor", 16, "average out-degree")
+		kind   = flag.String("graph", "rmat", "graph kind for generation")
+		input  = flag.String("input", "", "load a text edge list instead of generating")
+		hosts  = flag.Int("hosts", 8, "number of hosts")
+		policy = flag.String("policy", "", "restrict to one policy (default: all)")
+		seed   = flag.Uint64("seed", 2018, "generation seed")
+		save   = flag.String("save", "", "directory to save partitions to (one file per host; requires -policy)")
+	)
+	flag.Parse()
+
+	var numNodes uint64
+	var edges []graph.Edge
+	var err error
+	if *input != "" {
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		edges, numNodes, err = gio.ReadEdgeList(f)
+		f.Close()
+	} else {
+		edges, err = generate.Edges(generate.Config{
+			Kind: *kind, Scale: *scale, EdgeFactor: *ef, Seed: *seed,
+		})
+		numNodes = uint64(1) << *scale
+	}
+	if err != nil {
+		fatal(err)
+	}
+	g, err := graph.FromEdges(numNodes, edges, false)
+	if err != nil {
+		fatal(err)
+	}
+	out := make([]uint32, numNodes)
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		out[u] = g.OutDegree(u)
+	}
+	popt := partition.Options{OutDegrees: out, InDegrees: g.InDegrees()}
+
+	kinds := partition.AllKinds()
+	if *policy != "" {
+		kinds = []partition.Kind{partition.Kind(*policy)}
+	}
+
+	fmt.Printf("graph: %d nodes, %d edges, %d hosts\n\n", numNodes, len(edges), *hosts)
+	fmt.Printf("%-6s %10s %12s %12s %14s %14s %10s\n",
+		"policy", "repl", "imbalance", "mirrors", "mirrors w/in", "mirrors w/out", "time")
+	for _, k := range kinds {
+		pol, err := partition.NewPolicy(k, numNodes, *hosts, popt)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		parts, err := partition.PartitionAll(numNodes, edges, pol)
+		if err != nil {
+			fatal(err)
+		}
+		elapsed := time.Since(start)
+		stats := partition.ComputeStats(parts)
+		var mirrorsIn, mirrorsOut uint64
+		for _, p := range parts {
+			for lid := p.NumMasters; lid < p.NumProxies(); lid++ {
+				if p.HasIn.Test(lid) {
+					mirrorsIn++
+				}
+				if p.HasOut.Test(lid) {
+					mirrorsOut++
+				}
+			}
+		}
+		fmt.Printf("%-6s %10.3f %12.3f %12d %14d %14d %10v\n",
+			k, stats.ReplicationFactor, stats.EdgeImbalance,
+			stats.TotalMirrors, mirrorsIn, mirrorsOut, elapsed.Round(time.Millisecond))
+
+		if *save != "" && *policy != "" {
+			if err := os.MkdirAll(*save, 0o755); err != nil {
+				fatal(err)
+			}
+			for _, p := range parts {
+				path := filepath.Join(*save, fmt.Sprintf("part-%s-h%02d.glpt", k, p.HostID))
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := gio.WritePartition(f, p); err != nil {
+					f.Close()
+					fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+			}
+			fmt.Printf("saved %d partition files to %s\n", len(parts), *save)
+		}
+	}
+	fmt.Println("\nrepl = average proxies per node; imbalance = max/mean edges per host")
+	fmt.Println("mirrors w/in participate in reduce; mirrors w/out receive broadcast (push-style fields)")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gluon-partition:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,198 @@
+// Command gluon-run executes one distributed graph analytics configuration
+// and reports time, rounds, and communication volume.
+//
+// Usage:
+//
+//	gluon-run -system d-galois -bench bfs -policy cvc -hosts 8 -scale 18
+//	gluon-run -system gemini  -bench pr  -hosts 4
+//	gluon-run -bench sssp -graph webcrawl -unopt        # optimizations off
+//	gluon-run -bench bfs -input edges.txt               # load an edge list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gluon"
+	"gluon/internal/gemini"
+	"gluon/internal/gio"
+	"gluon/internal/validate"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "d-galois", "d-ligra | d-galois | d-irgl | gemini")
+		benchFlg = flag.String("bench", "bfs", "bfs | cc | pr | pr-push | sssp | sssp-delta | kcore | bc")
+		kFlag    = flag.Uint64("k", 4, "core number for -bench kcore")
+		policy   = flag.String("policy", "cvc", "oec | iec | cvc | hvc | auto (probe all, pick by volume)")
+		hosts    = flag.Int("hosts", 4, "number of simulated hosts")
+		workers  = flag.Int("workers", 0, "workers per host (0 = GOMAXPROCS)")
+		scale    = flag.Uint("scale", 16, "generated graphs have 2^scale nodes")
+		ef       = flag.Uint("edgefactor", 16, "average out-degree")
+		kind     = flag.String("graph", "rmat", "rmat | kron | webcrawl | twitterlike | random | grid")
+		input    = flag.String("input", "", "load a text edge list instead of generating")
+		seed     = flag.Uint64("seed", 2018, "generation seed")
+		unopt    = flag.Bool("unopt", false, "disable Gluon's communication optimizations")
+		verify   = flag.Bool("verify", false, "collect values and print a result digest")
+		check    = flag.Bool("validate", false, "property-check the result (graph500-style, no reference recomputation)")
+	)
+	flag.Parse()
+
+	weighted := *benchFlg == "sssp" || *benchFlg == "sssp-delta"
+	var numNodes uint64
+	var edges []gluon.Edge
+	var err error
+	if *input != "" {
+		f, ferr := os.Open(*input)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		edges, numNodes, err = gio.ReadEdgeList(f)
+		f.Close()
+	} else {
+		numNodes, edges, err = gluon.Generate(gluon.GraphConfig{
+			Kind: *kind, Scale: *scale, EdgeFactor: *ef, Seed: *seed, Weighted: weighted,
+		})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *benchFlg == "cc" || *benchFlg == "kcore" {
+		edges = gluon.Symmetrize(edges)
+	}
+	csr, err := gluon.BuildCSR(numNodes, edges, weighted)
+	if err != nil {
+		fatal(err)
+	}
+	source := uint64(csr.MaxOutDegreeNode())
+
+	if *system == "gemini" {
+		res, err := gemini.Run(numNodes, edges, gemini.Algorithm(*benchFlg), gemini.Config{
+			Hosts: *hosts, Workers: *workers, Source: source,
+			Tolerance: 1e-6, MaxIters: 100, CollectValues: *verify,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("system=gemini bench=%s hosts=%d time=%v rounds=%d comm=%d bytes\n",
+			*benchFlg, *hosts, res.Time, res.Rounds, res.TotalCommBytes)
+		if *verify {
+			printDigest(res.Values)
+		}
+		return
+	}
+
+	opt := gluon.Opt()
+	if *unopt {
+		opt = gluon.Unopt()
+	}
+	var factory gluon.ProgramFactory
+	maxRounds := 0
+	switch *benchFlg {
+	case "bfs":
+		factory = gluon.NewBFS(gluon.System(*system), source, *workers)
+	case "sssp":
+		factory = gluon.NewSSSP(gluon.System(*system), source, *workers)
+	case "cc":
+		factory = gluon.NewCC(gluon.System(*system), *workers)
+	case "pr":
+		factory = gluon.NewPageRank(gluon.System(*system), 1e-6, *workers)
+		maxRounds = 100
+	case "pr-push":
+		factory = gluon.NewPageRankPush(1e-9, *workers)
+		maxRounds = 500
+	case "sssp-delta":
+		factory = gluon.NewSSSPDelta(source, 0, *workers)
+	case "kcore":
+		factory = gluon.NewKCore(gluon.System(*system), *kFlag, *workers)
+	case "bc":
+		factory = gluon.NewBC(source, *workers)
+		maxRounds = 100000
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *benchFlg))
+	}
+
+	chosen := gluon.PolicyKind(*policy)
+	if *policy == "auto" {
+		var err error
+		chosen, err = gluon.AutotunePolicy(numNodes, edges, *hosts, factory)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("autotune selected policy %s\n", chosen)
+	}
+
+	res, err := gluon.Run(numNodes, edges, gluon.RunConfig{
+		Hosts:         *hosts,
+		Policy:        chosen,
+		Opt:           opt,
+		CollectValues: *verify || *check,
+		MaxRounds:     maxRounds,
+	}, factory)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("system=%s bench=%s policy=%s hosts=%d time=%v rounds=%d comm=%d bytes imbalance=%.2f\n",
+		*system, *benchFlg, *policy, *hosts, res.Time, res.Rounds, res.TotalCommBytes, res.LoadImbalance())
+	if *verify {
+		printDigest(res.Values)
+	}
+	if *check {
+		if err := validateResult(*benchFlg, csr, uint32(source), *kFlag, res.Values); err != nil {
+			fatal(fmt.Errorf("validation FAILED: %w", err))
+		}
+		fmt.Println("validation passed ✓")
+	}
+}
+
+// validateResult property-checks the collected values for the benchmarks
+// with known validators.
+func validateResult(benchName string, csr *gluon.CSR, source uint32, k uint64, values []float64) error {
+	switch benchName {
+	case "bfs", "sssp", "sssp-delta":
+		dist := make([]uint32, len(values))
+		for i, v := range values {
+			dist[i] = uint32(v)
+		}
+		if benchName == "bfs" {
+			return validate.BFS(csr, source, dist)
+		}
+		return validate.SSSP(csr, source, dist)
+	case "cc":
+		comp := make([]uint32, len(values))
+		for i, v := range values {
+			comp[i] = uint32(v)
+		}
+		return validate.CC(csr, comp)
+	case "pr":
+		return validate.PageRank(csr, 0.85, values, 1e-6)
+	case "kcore":
+		inCore := make([]bool, len(values))
+		for i, v := range values {
+			inCore[i] = v == 1
+		}
+		return validate.KCore(csr, k, inCore)
+	default:
+		return fmt.Errorf("no validator for %q", benchName)
+	}
+}
+
+// printDigest summarizes converged values (reachable count, sum) so two
+// runs can be compared quickly.
+func printDigest(values []float64) {
+	var sum float64
+	reached := 0
+	for _, v := range values {
+		if v != float64(^uint32(0)) {
+			reached++
+			sum += v
+		}
+	}
+	fmt.Printf("digest: %d/%d nodes with finite values, sum=%.6g\n", reached, len(values), sum)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gluon-run:", err)
+	os.Exit(1)
+}

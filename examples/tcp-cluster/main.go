@@ -1,0 +1,113 @@
+// TCP cluster: run a Gluon system over real sockets instead of the
+// in-process hub. Each host gets its own TCP endpoint on localhost; the
+// byte streams crossing the connections are exactly the payloads Gluon
+// hands to MPI in the original system. The same binary could be launched
+// as separate OS processes, one per host, each dialing the shared address
+// list (this example keeps them in one process for a self-contained demo).
+//
+//	go run ./examples/tcp-cluster
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"gluon"
+	"gluon/internal/algorithms/sssp"
+	"gluon/internal/comm"
+	"gluon/internal/dsys"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+const hosts = 4
+
+func main() {
+	numNodes, edges, err := gluon.Generate(gluon.GraphConfig{
+		Kind: "rmat", Scale: 13, EdgeFactor: 8, Seed: 5, Weighted: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	csr, err := gluon.BuildCSR(numNodes, edges, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source := csr.MaxOutDegreeNode()
+
+	// Partition for 4 hosts with the hybrid vertex-cut.
+	out := make([]uint32, numNodes)
+	for u := uint32(0); u < csr.NumNodes(); u++ {
+		out[u] = csr.OutDegree(u)
+	}
+	pol, err := partition.NewPolicy(partition.HVC, numNodes, hosts,
+		partition.Options{OutDegrees: out, InDegrees: csr.InDegrees()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts, err := partition.PartitionAll(numNodes, edges, pol)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Bring up the TCP mesh on localhost.
+	addrs := make([]string, hosts)
+	for h := range addrs {
+		addrs[h] = fmt.Sprintf("127.0.0.1:%d", 39200+h)
+	}
+	endpoints := make([]comm.Transport, hosts)
+	var wg sync.WaitGroup
+	var dialErr error
+	var mu sync.Mutex
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			ep, err := comm.DialTCP(h, addrs)
+			if err != nil {
+				mu.Lock()
+				dialErr = err
+				mu.Unlock()
+				return
+			}
+			endpoints[h] = ep
+		}(h)
+	}
+	wg.Wait()
+	if dialErr != nil {
+		log.Fatal(dialErr)
+	}
+	defer func() {
+		for _, ep := range endpoints {
+			if ep != nil {
+				ep.Close()
+			}
+		}
+	}()
+
+	res, err := dsys.RunWithTransports(parts, endpoints, dsys.RunConfig{
+		Hosts:         hosts,
+		Policy:        partition.HVC,
+		Opt:           gluon.Opt(),
+		CollectValues: true,
+	}, sssp.NewGalois(uint64(source), 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	want := ref.SSSP(csr, source)
+	for i, w := range want {
+		if float64(w) != res.Values[i] {
+			log.Fatalf("node %d: tcp run got %v, dijkstra got %d", i, res.Values[i], w)
+		}
+	}
+	var wire uint64
+	for _, ep := range endpoints {
+		wire += ep.Stats().BytesSent
+	}
+	fmt.Printf("sssp over TCP: %d hosts on localhost, %v, %d rounds\n", hosts, res.Time, res.Rounds)
+	fmt.Printf("field-sync payload: %d bytes; total wire traffic incl. barriers: %d bytes\n",
+		res.TotalCommBytes, wire)
+	fmt.Println("results verified identical to sequential Dijkstra ✓")
+}

@@ -1,0 +1,3 @@
+module gluon
+
+go 1.22

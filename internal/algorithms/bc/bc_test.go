@@ -1,0 +1,165 @@
+package bc_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gluon/internal/algorithms/bc"
+	"gluon/internal/dsys"
+	"gluon/internal/fields"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+)
+
+// refBC computes single-source dependencies with sequential Brandes
+// (unweighted; parallel edges count as distinct paths, matching the
+// distributed implementation).
+func refBC(g *graph.CSR, source uint32) []float64 {
+	n := g.NumNodes()
+	level := make([]uint32, n)
+	sigma := make([]float64, n)
+	for i := range level {
+		level[i] = fields.InfinityU32
+	}
+	level[source] = 0
+	sigma[source] = 1
+	var order []uint32
+	queue := []uint32{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, w := range g.Neighbors(u) {
+			if level[w] == fields.InfinityU32 {
+				level[w] = level[u] + 1
+				queue = append(queue, w)
+			}
+			if level[w] == level[u]+1 {
+				sigma[w] += sigma[u]
+			}
+		}
+	}
+	delta := make([]float64, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		for _, w := range g.Neighbors(v) {
+			if level[w] == level[v]+1 && sigma[w] > 0 {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+		}
+	}
+	return delta
+}
+
+func input(t *testing.T, kind string, scale uint) (uint64, []graph.Edge, *graph.CSR) {
+	t.Helper()
+	cfg := generate.Config{Kind: kind, Scale: scale, EdgeFactor: 8, Seed: 71}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.NumNodes(), edges, g
+}
+
+func TestBCMatrix(t *testing.T) {
+	numNodes, edges, g := input(t, "rmat", 9)
+	source := g.MaxOutDegreeNode()
+	want := refBC(g, source)
+	for _, pol := range partition.AllKinds() {
+		for _, hosts := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/h%d", pol, hosts), func(t *testing.T) {
+				res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+					Hosts: hosts, Policy: pol, Opt: gluon.Opt(),
+					CollectValues: true, MaxRounds: 10000,
+				}, bc.New(uint64(source), 2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for u, w := range want {
+					if math.Abs(res.Values[u]-w) > 1e-6*(1+math.Abs(w)) {
+						t.Fatalf("node %d: δ=%g, want %g", u, res.Values[u], w)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBCChain(t *testing.T) {
+	// On a chain 0→1→…→n-1 from source 0, δ(i) = n-1-i.
+	cfg := generate.Config{Kind: "chain", Scale: 6, EdgeFactor: 1}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+		Hosts: 3, Policy: partition.OEC, Opt: gluon.Opt(),
+		CollectValues: true, MaxRounds: 10000,
+	}, bc.New(0, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int(cfg.NumNodes())
+	for i := 0; i < n; i++ {
+		want := float64(n - 1 - i)
+		if math.Abs(res.Values[i]-want) > 1e-9 {
+			t.Fatalf("node %d: δ=%g, want %g", i, res.Values[i], want)
+		}
+	}
+}
+
+// TestAccumulateMultiSource: batched bc over several sources equals the
+// sum of sequential per-source dependencies.
+func TestAccumulateMultiSource(t *testing.T) {
+	numNodes, edges, g := input(t, "rmat", 8)
+	sources := []uint64{uint64(g.MaxOutDegreeNode()), 1, 7}
+	want := make([]float64, numNodes)
+	for _, s := range sources {
+		for u, d := range refBC(g, uint32(s)) {
+			want[u] += d
+		}
+	}
+	got, err := bc.Accumulate(sources, func(source uint64) ([]float64, error) {
+		res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+			Hosts: 3, Policy: partition.CVC, Opt: gluon.Opt(),
+			CollectValues: true, MaxRounds: 10000,
+		}, bc.New(source, 2))
+		if err != nil {
+			return nil, err
+		}
+		return res.Values, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range want {
+		if math.Abs(got[u]-want[u]) > 1e-6*(1+math.Abs(want[u])) {
+			t.Fatalf("node %d: %g, want %g", u, got[u], want[u])
+		}
+	}
+}
+
+func TestBCUnoptMatches(t *testing.T) {
+	numNodes, edges, g := input(t, "webcrawl", 8)
+	source := g.MaxOutDegreeNode()
+	want := refBC(g, source)
+	res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+		Hosts: 4, Policy: partition.HVC, Opt: gluon.Unopt(),
+		CollectValues: true, MaxRounds: 10000,
+	}, bc.New(uint64(source), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, w := range want {
+		if math.Abs(res.Values[u]-w) > 1e-6*(1+math.Abs(w)) {
+			t.Fatalf("node %d: δ=%g, want %g", u, res.Values[u], w)
+		}
+	}
+}

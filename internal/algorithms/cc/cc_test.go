@@ -1,0 +1,48 @@
+package cc_test
+
+// In-package validation; the exhaustive system × policy × hosts ×
+// optimization matrix for this algorithm lives in internal/dsys.
+
+import (
+	"testing"
+
+	"gluon/internal/algorithms/cc"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+func TestAllEnginesMatchReference(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 101}
+	raw, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := ref.Symmetrize(raw)
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.CC(g)
+	factories := map[string]dsys.ProgramFactory{
+		"ligra":  cc.NewLigra(2),
+		"galois": cc.NewGalois(2),
+		"irgl":   cc.NewIrGL(2),
+	}
+	for name, f := range factories {
+		res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+			Hosts: 4, Policy: partition.CVC, Opt: gluon.Opt(), CollectValues: true,
+		}, f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for u, w := range want {
+			if float64(w) != res.Values[u] {
+				t.Fatalf("%s node %d: %v, want %d", name, u, res.Values[u], w)
+			}
+		}
+	}
+}

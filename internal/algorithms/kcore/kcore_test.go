@@ -1,0 +1,136 @@
+package kcore_test
+
+import (
+	"fmt"
+	"testing"
+
+	"gluon/internal/algorithms/kcore"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+// refKCore peels sequentially: returns 1 for nodes in the k-core.
+func refKCore(g *graph.CSR, k uint64) []uint32 {
+	n := g.NumNodes()
+	deg := make([]uint64, n)
+	for u := uint32(0); u < n; u++ {
+		deg[u] = uint64(g.OutDegree(u))
+	}
+	dead := make([]bool, n)
+	var queue []uint32
+	for u := uint32(0); u < n; u++ {
+		if deg[u] < k {
+			dead[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dead[v] {
+				continue
+			}
+			deg[v]--
+			if deg[v] < k {
+				dead[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	out := make([]uint32, n)
+	for u := range dead {
+		if !dead[u] {
+			out[u] = 1
+		}
+	}
+	return out
+}
+
+func symInput(t *testing.T) (uint64, []graph.Edge, *graph.CSR) {
+	t.Helper()
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 91}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := ref.Symmetrize(edges)
+	g, err := graph.FromEdges(cfg.NumNodes(), sym, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.NumNodes(), sym, g
+}
+
+func TestKCoreMatrix(t *testing.T) {
+	numNodes, sym, g := symInput(t)
+	for _, k := range []uint64{2, 5, 20} {
+		want := refKCore(g, k)
+		for _, pol := range partition.AllKinds() {
+			for _, mk := range []struct {
+				name    string
+				factory dsys.ProgramFactory
+			}{
+				{"galois", kcore.NewGalois(k, 2)},
+				{"ligra", kcore.NewLigra(k, 2)},
+				{"irgl", kcore.NewIrGL(k, 2)},
+			} {
+				t.Run(fmt.Sprintf("k%d/%s/%s", k, pol, mk.name), func(t *testing.T) {
+					res, err := dsys.Run(numNodes, sym, dsys.RunConfig{
+						Hosts: 4, Policy: pol, Opt: gluon.Opt(), CollectValues: true,
+					}, mk.factory)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for u, w := range want {
+						if float64(w) != res.Values[u] {
+							t.Fatalf("node %d: in-core=%v, want %d", u, res.Values[u], w)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestKCoreUnoptMatches(t *testing.T) {
+	numNodes, sym, g := symInput(t)
+	want := refKCore(g, 8)
+	res, err := dsys.Run(numNodes, sym, dsys.RunConfig{
+		Hosts: 5, Policy: partition.HVC, Opt: gluon.Unopt(), CollectValues: true,
+	}, kcore.NewGalois(8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, w := range want {
+		if float64(w) != res.Values[u] {
+			t.Fatalf("node %d: in-core=%v, want %d", u, res.Values[u], w)
+		}
+	}
+}
+
+// TestKCoreMonotone: the (k+1)-core is contained in the k-core.
+func TestKCoreMonotone(t *testing.T) {
+	numNodes, sym, _ := symInput(t)
+	var prev []float64
+	for _, k := range []uint64{2, 4, 8, 16} {
+		res, err := dsys.Run(numNodes, sym, dsys.RunConfig{
+			Hosts: 3, Policy: partition.CVC, Opt: gluon.Opt(), CollectValues: true,
+		}, kcore.NewGalois(k, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil {
+			for u := range res.Values {
+				if res.Values[u] == 1 && prev[u] == 0 {
+					t.Fatalf("k=%d: node %d in higher core but not lower", k, u)
+				}
+			}
+		}
+		prev = res.Values
+	}
+}

@@ -1,0 +1,261 @@
+// Package pr implements distributed PageRank as a pull-style vertex
+// program (the paper's choice for D-Galois and D-IrGL): each round, every
+// node gathers rank/out-degree contributions over its incoming edges.
+//
+// Three Gluon fields demonstrate the substrate's field-sensitivity (§3.3):
+//
+//   - outdeg (one-time, at Init): each proxy's local out-degree is
+//     sum-reduced to the master and broadcast back, yielding global
+//     out-degrees — written and read at edge sources.
+//   - contrib (each round): partial dangling sums are add-reduced from
+//     mirrors to masters — write at destination, no broadcast.
+//   - rank (each round): the new rank is broadcast from masters to the
+//     mirrors that will be read as edge sources — read at source, no reduce.
+//
+// Ranks use the standard damped recurrence rank(v) = (1-α) + α·Σ
+// rank(u)/outdeg(u); iteration stops when no master moves more than the
+// tolerance, or at the round cap the harness sets (the paper uses 100).
+package pr
+
+import (
+	"math"
+
+	"gluon/internal/bitset"
+	"gluon/internal/dsys"
+	"gluon/internal/engine/galois"
+	"gluon/internal/engine/irgl"
+	"gluon/internal/engine/ligra"
+	"gluon/internal/fields"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/par"
+	"gluon/internal/partition"
+)
+
+// Field IDs for pr's three synchronized fields.
+const (
+	FieldIDContrib = 4
+	FieldIDRank    = 5
+	FieldIDOutDeg  = 6
+)
+
+// Alpha is the damping factor.
+const Alpha = 0.85
+
+// DefaultTolerance matches the paper's setting for large inputs.
+const DefaultTolerance = 1e-6
+
+type common struct {
+	p   *partition.Partition
+	g   *gluon.Gluon
+	tol float64
+
+	rank    []float64
+	contrib []float64
+	outdeg  []uint64
+
+	contribField gluon.Field[float64]
+	rankField    gluon.Field[float64]
+	outdegField  gluon.Field[uint64]
+}
+
+func newCommon(p *partition.Partition, g *gluon.Gluon, tol float64) *common {
+	if tol <= 0 {
+		tol = DefaultTolerance
+	}
+	n := p.NumProxies()
+	c := &common{
+		p: p, g: g, tol: tol,
+		rank:    make([]float64, n),
+		contrib: make([]float64, n),
+		outdeg:  make([]uint64, n),
+	}
+	c.contribField = gluon.Field[float64]{
+		ID:     FieldIDContrib,
+		Name:   "pr-contrib",
+		Write:  gluon.AtDestination,
+		Read:   gluon.AtDestination,
+		Reduce: fields.SumF64{Vals: c.contrib},
+	}
+	c.rankField = gluon.Field[float64]{
+		ID:        FieldIDRank,
+		Name:      "pr-rank",
+		Write:     gluon.AtDestination,
+		Read:      gluon.AtSource,
+		Broadcast: fields.SetF64{Vals: c.rank},
+	}
+	c.outdegField = gluon.Field[uint64]{
+		ID:        FieldIDOutDeg,
+		Name:      "pr-outdeg",
+		Write:     gluon.AtSource,
+		Read:      gluon.AtSource,
+		Reduce:    fields.SumU64{Vals: c.outdeg},
+		Broadcast: fields.SetU64{Vals: c.outdeg},
+	}
+	return c
+}
+
+// Name implements dsys.Program.
+func (c *common) Name() string { return "pr" }
+
+// Init computes global out-degrees with a one-time field sync and seeds
+// every proxy's rank with the teleport mass.
+func (c *common) Init() (*bitset.Bitset, error) {
+	for lid := uint32(0); lid < c.p.NumProxies(); lid++ {
+		c.outdeg[lid] = uint64(c.p.Graph.OutDegree(lid))
+		c.rank[lid] = 1 - Alpha
+		c.contrib[lid] = 0
+	}
+	if err := gluon.Sync(c.g, c.outdegField, nil); err != nil {
+		return nil, err
+	}
+	frontier := bitset.New(c.p.NumProxies())
+	frontier.SetAll()
+	return frontier, nil
+}
+
+// Sync implements dsys.Program: reduce contributions, apply the PageRank
+// update on masters, broadcast new ranks.
+func (c *common) Sync(updated *bitset.Bitset) error {
+	if err := gluon.SyncReduce(c.g, c.contribField, updated); err != nil {
+		return err
+	}
+	// Apply on masters; track which ranks moved beyond tolerance.
+	updated.Reset()
+	for m := uint32(0); m < c.p.NumMasters; m++ {
+		newRank := (1 - Alpha) + Alpha*c.contrib[m]
+		delta := math.Abs(newRank - c.rank[m])
+		c.rank[m] = newRank
+		c.contrib[m] = 0
+		if delta > c.tol {
+			updated.SetUnsync(m)
+		}
+	}
+	return gluon.SyncBroadcast(c.g, c.rankField, updated)
+}
+
+// Finalize implements dsys.Program.
+func (c *common) Finalize() error { return gluon.BroadcastAll(c.g, c.rankField) }
+
+// MasterValue implements dsys.Program.
+func (c *common) MasterValue(lid uint32) float64 { return c.rank[lid] }
+
+// gather recomputes contrib over the in-graph rows [lo, hi), marking
+// nonzero rows in updated. Single writer per destination: no atomics.
+func (c *common) gather(in *graph.CSR, lo, hi uint32, updated *bitset.Bitset) {
+	for v := lo; v < hi; v++ {
+		var sum float64
+		for _, u := range in.Neighbors(v) {
+			sum += c.rank[u] / float64(c.outdeg[u])
+		}
+		c.contrib[v] = sum
+		if sum != 0 {
+			updated.Set(v)
+		}
+	}
+}
+
+// ---------- D-Ligra ----------
+
+type ligraProgram struct {
+	*common
+	lg      *ligra.Graph
+	workers int
+}
+
+// NewLigra builds the pull PageRank program over the Ligra engine's dense
+// (in-edge) traversal.
+func NewLigra(tol float64, workers int) dsys.ProgramFactory {
+	return func(p *partition.Partition, g *gluon.Gluon) (dsys.Program, error) {
+		return &ligraProgram{
+			common:  newCommon(p, g, tol),
+			lg:      ligra.NewGraph(p.Graph, true),
+			workers: workers,
+		}, nil
+	}
+}
+
+// Round implements dsys.Program.
+func (pr *ligraProgram) Round(_ *bitset.Bitset) (*bitset.Bitset, error) {
+	updated := bitset.New(pr.p.NumProxies())
+	n := int(pr.p.NumProxies())
+	par.Range(n, pr.workers, func(lo, hi int) {
+		pr.gather(pr.lg.In, uint32(lo), uint32(hi), updated)
+	})
+	return updated, nil
+}
+
+// ---------- D-Galois ----------
+
+type galoisProgram struct {
+	*common
+	e  *galois.Engine
+	in *graph.CSR
+}
+
+// NewGalois builds the pull PageRank program over the Galois engine's
+// topology-driven do_all.
+func NewGalois(tol float64, workers int) dsys.ProgramFactory {
+	return func(p *partition.Partition, g *gluon.Gluon) (dsys.Program, error) {
+		return &galoisProgram{
+			common: newCommon(p, g, tol),
+			e:      galois.New(p.Graph, workers),
+			in:     p.InGraph(),
+		}, nil
+	}
+}
+
+// Round implements dsys.Program.
+func (pr *galoisProgram) Round(_ *bitset.Bitset) (*bitset.Bitset, error) {
+	updated := bitset.New(pr.p.NumProxies())
+	n := int(pr.p.NumProxies())
+	par.Range(n, pr.e.Workers, func(lo, hi int) {
+		pr.gather(pr.in, uint32(lo), uint32(hi), updated)
+	})
+	return updated, nil
+}
+
+// ---------- D-IrGL ----------
+
+type irglProgram struct {
+	*common
+	dev *irgl.Device
+	in  *graph.CSR
+
+	rankBuf    *irgl.Buffer[float64]
+	contribBuf *irgl.Buffer[float64]
+}
+
+// NewIrGL builds the pull PageRank program over the device engine; rank and
+// contrib live in device buffers.
+func NewIrGL(tol float64, workers int) dsys.ProgramFactory {
+	return func(p *partition.Partition, g *gluon.Gluon) (dsys.Program, error) {
+		c := newCommon(p, g, tol)
+		dev := irgl.New(p.Graph, workers)
+		prog := &irglProgram{common: c, dev: dev, in: p.InGraph()}
+		prog.rankBuf = irgl.NewBuffer[float64](dev, p.NumProxies())
+		prog.contribBuf = irgl.NewBuffer[float64](dev, p.NumProxies())
+		prog.rank = prog.rankBuf.Data()
+		prog.contrib = prog.contribBuf.Data()
+		prog.contribField.Reduce = irgl.SumF64Buf{B: prog.contribBuf}
+		prog.rankField.Broadcast = irgl.SetF64Buf{B: prog.rankBuf}
+		return prog, nil
+	}
+}
+
+// Round implements dsys.Program: one topology-driven gather kernel.
+func (pr *irglProgram) Round(_ *bitset.Bitset) (*bitset.Bitset, error) {
+	updated := bitset.New(pr.p.NumProxies())
+	in := pr.in
+	pr.dev.Kernel(func(v uint32) {
+		var sum float64
+		for _, u := range in.Neighbors(v) {
+			sum += pr.rank[u] / float64(pr.outdeg[u])
+		}
+		pr.contrib[v] = sum
+		if sum != 0 {
+			updated.Set(v)
+		}
+	})
+	return updated, nil
+}

@@ -1,0 +1,102 @@
+package pr_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+func pullInput(t *testing.T) (uint64, []graph.Edge, []float64) {
+	t.Helper()
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 61}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.NumNodes(), edges, ref.PageRank(g, pr.Alpha, 1e-9, 100)
+}
+
+// TestPullEnginesAgree: the three engine implementations of pull pagerank
+// produce identical rank vectors (same synchronous recurrence, same sync).
+func TestPullEnginesAgree(t *testing.T) {
+	numNodes, edges, want := pullInput(t)
+	factories := map[string]dsys.ProgramFactory{
+		"ligra":  pr.NewLigra(1e-9, 2),
+		"galois": pr.NewGalois(1e-9, 2),
+		"irgl":   pr.NewIrGL(1e-9, 2),
+	}
+	results := map[string][]float64{}
+	for name, f := range factories {
+		t.Run(name, func(t *testing.T) {
+			res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+				Hosts: 3, Policy: partition.IEC, Opt: gluon.Opt(),
+				CollectValues: true, MaxRounds: 100,
+			}, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results[name] = res.Values
+			for i, w := range want {
+				if math.Abs(res.Values[i]-w) > 1e-6 {
+					t.Fatalf("node %d: %g, want %g", i, res.Values[i], w)
+				}
+			}
+		})
+	}
+}
+
+// TestPullRespectsMaxRounds: the round cap bounds runaway iteration.
+func TestPullRespectsMaxRounds(t *testing.T) {
+	numNodes, edges, _ := pullInput(t)
+	res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+		Hosts: 2, Policy: partition.OEC, Opt: gluon.Opt(), MaxRounds: 3,
+	}, pr.NewGalois(1e-30, 2)) // tolerance unreachably tight
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds > 3 {
+		t.Fatalf("ran %d rounds past the cap", res.Rounds)
+	}
+}
+
+// TestPullDanglingNodes: nodes with no in-edges keep the teleport mass;
+// out-degree sync handles nodes whose edges are scattered across hosts.
+func TestPullDanglingNodes(t *testing.T) {
+	// star: node 0 → everyone. Node 0 has no in-edges.
+	cfg := generate.Config{Kind: "star", Scale: 6, EdgeFactor: 1}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range partition.AllKinds() {
+		t.Run(fmt.Sprint(pol), func(t *testing.T) {
+			res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+				Hosts: 4, Policy: pol, Opt: gluon.Opt(),
+				CollectValues: true, MaxRounds: 50,
+			}, pr.NewLigra(1e-9, 2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Values[0]-0.15) > 1e-9 {
+				t.Fatalf("hub rank %g, want teleport mass 0.15", res.Values[0])
+			}
+			// Every leaf gets 0.15 + 0.85·(0.15/63).
+			wantLeaf := 0.15 + 0.85*0.15/63
+			if math.Abs(res.Values[1]-wantLeaf) > 1e-9 {
+				t.Fatalf("leaf rank %g, want %g", res.Values[1], wantLeaf)
+			}
+		})
+	}
+}

@@ -1,0 +1,116 @@
+package pr_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+// TestPushMatchesPullReference: the push-style (residual) variant converges
+// to the same ranks as the sequential pull power iteration, across hosts
+// and policies.
+func TestPushMatchesPullReference(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 66}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.PageRank(g, pr.Alpha, 1e-12, 500)
+
+	for _, pol := range partition.AllKinds() {
+		for _, hosts := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/h%d", pol, hosts), func(t *testing.T) {
+				res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+					Hosts: hosts, Policy: pol, Opt: gluon.Opt(),
+					CollectValues: true, MaxRounds: 500,
+				}, pr.NewGaloisPush(1e-10, 2))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Rounds >= 500 {
+					t.Fatalf("did not converge in %d rounds", res.Rounds)
+				}
+				var maxErr float64
+				for i, w := range want {
+					if e := math.Abs(res.Values[i] - w); e > maxErr {
+						maxErr = e
+					}
+				}
+				if maxErr > 1e-5 {
+					t.Fatalf("max rank error %g", maxErr)
+				}
+			})
+		}
+	}
+}
+
+// TestPushMassConservation: total rank mass of push pr equals the pull
+// formulation's on the same graph (teleport mass plus propagated mass,
+// minus what dangling nodes absorb identically in both).
+func TestPushMassConservation(t *testing.T) {
+	cfg := generate.Config{Kind: "webcrawl", Scale: 9, EdgeFactor: 8, Seed: 67}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.PageRank(g, pr.Alpha, 1e-12, 500)
+	var wantMass float64
+	for _, r := range want {
+		wantMass += r
+	}
+	res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+		Hosts: 3, Policy: partition.CVC, Opt: gluon.Opt(),
+		CollectValues: true, MaxRounds: 500,
+	}, pr.NewGaloisPush(1e-10, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotMass float64
+	for _, r := range res.Values {
+		gotMass += r
+	}
+	if math.Abs(gotMass-wantMass) > 1e-3 {
+		t.Fatalf("mass %f, want %f", gotMass, wantMass)
+	}
+}
+
+// TestPushUnoptMatches: results are identical with optimizations disabled.
+func TestPushUnoptMatches(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 8, EdgeFactor: 8, Seed: 68}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ranks [2][]float64
+	for i, opt := range []gluon.Options{gluon.Opt(), gluon.Unopt()} {
+		res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+			Hosts: 4, Policy: partition.HVC, Opt: opt,
+			CollectValues: true, MaxRounds: 500,
+		}, pr.NewGaloisPush(1e-10, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranks[i] = res.Values
+	}
+	for i := range ranks[0] {
+		if math.Abs(ranks[0][i]-ranks[1][i]) > 1e-9 {
+			t.Fatalf("node %d: opt %g vs unopt %g", i, ranks[0][i], ranks[1][i])
+		}
+	}
+}

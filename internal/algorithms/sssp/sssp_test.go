@@ -1,0 +1,54 @@
+package sssp_test
+
+// In-package validation; the exhaustive system × policy × hosts ×
+// optimization matrix for this algorithm lives in internal/dsys.
+
+import (
+	"testing"
+
+	"gluon/internal/algorithms/sssp"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+func TestAllEnginesMatchReference(t *testing.T) {
+	const weighted = "sssp" == "sssp"
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 101, Weighted: weighted}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := g.MaxOutDegreeNode()
+	var want []uint32
+	if weighted {
+		want = ref.SSSP(g, source)
+	} else {
+		want = ref.BFS(g, source)
+	}
+	factories := map[string]dsys.ProgramFactory{
+		"ligra":  sssp.NewLigra(uint64(source), 2),
+		"galois": sssp.NewGalois(uint64(source), 2),
+		"irgl":   sssp.NewIrGL(uint64(source), 2),
+	}
+	for name, f := range factories {
+		res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+			Hosts: 4, Policy: partition.CVC, Opt: gluon.Opt(), CollectValues: true,
+		}, f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for u, w := range want {
+			if float64(w) != res.Values[u] {
+				t.Fatalf("%s node %d: %v, want %d", name, u, res.Values[u], w)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package autotune_test
+
+import (
+	"testing"
+
+	"gluon/internal/algorithms/bfs"
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/autotune"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+)
+
+func input(t *testing.T, kind string) (uint64, []graph.Edge, *graph.CSR) {
+	t.Helper()
+	cfg := generate.Config{Kind: kind, Scale: 10, EdgeFactor: 8, Seed: 9}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg.NumNodes(), edges, g
+}
+
+func TestPickReturnsArgmin(t *testing.T) {
+	numNodes, edges, g := input(t, "webcrawl")
+	choice, probes, err := autotune.Pick(numNodes, edges, autotune.Config{
+		Hosts:       4,
+		Opt:         gluon.Opt(),
+		ProbeRounds: 5,
+		Criterion:   autotune.MinVolume,
+	}, pr.NewGalois(1e-6, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 4 {
+		t.Fatalf("%d probes", len(probes))
+	}
+	if probes[0].Policy != choice {
+		t.Fatalf("choice %s but first probe %s", choice, probes[0].Policy)
+	}
+	for i := 1; i < len(probes); i++ {
+		if probes[i].CommBytes < probes[0].CommBytes {
+			t.Fatalf("probe %s beats choice on volume", probes[i].Policy)
+		}
+	}
+	for _, p := range probes {
+		if p.ReplicationFactor < 1 {
+			t.Fatalf("probe %s replication %f", p.Policy, p.ReplicationFactor)
+		}
+	}
+	_ = g
+}
+
+func TestPickRestrictedCandidates(t *testing.T) {
+	numNodes, edges, g := input(t, "rmat")
+	source := uint64(g.MaxOutDegreeNode())
+	choice, probes, err := autotune.Pick(numNodes, edges, autotune.Config{
+		Hosts:      3,
+		Opt:        gluon.Opt(),
+		Candidates: []partition.Kind{partition.OEC, partition.IEC},
+		Criterion:  autotune.MinTime,
+	}, bfs.NewGalois(source, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 2 {
+		t.Fatalf("%d probes", len(probes))
+	}
+	if choice != partition.OEC && choice != partition.IEC {
+		t.Fatalf("choice %s outside candidates", choice)
+	}
+}
+
+func TestPickErrors(t *testing.T) {
+	numNodes, edges, _ := input(t, "rmat")
+	if _, _, err := autotune.Pick(numNodes, edges, autotune.Config{Hosts: 0},
+		bfs.NewGalois(0, 1)); err == nil {
+		t.Fatal("hosts=0 accepted")
+	}
+}

@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gluon/internal/gluon"
+)
+
+// TestAllTablesAndFiguresRun smoke-tests every experiment at test scale:
+// each must run without error and print a non-trivial report.
+func TestAllTablesAndFiguresRun(t *testing.T) {
+	p := TestParams()
+	experiments := []struct {
+		name string
+		run  func(*bytes.Buffer) error
+	}{
+		{"table1", func(b *bytes.Buffer) error { return Table1(b, p) }},
+		{"table2", func(b *bytes.Buffer) error { return Table2(b, p) }},
+		{"table3", func(b *bytes.Buffer) error { return Table3(b, p) }},
+		{"table4", func(b *bytes.Buffer) error { return Table4(b, p) }},
+		{"table5", func(b *bytes.Buffer) error { return Table5(b, p) }},
+		{"figure8", func(b *bytes.Buffer) error { return Figure8(b, p) }},
+		{"figure9", func(b *bytes.Buffer) error { return Figure9(b, p) }},
+		{"figure10", func(b *bytes.Buffer) error { return Figure10(b, p) }},
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.run(&buf); err != nil {
+				t.Fatalf("%s: %v", e.name, err)
+			}
+			out := buf.String()
+			if len(strings.Split(out, "\n")) < 3 {
+				t.Fatalf("%s: report too short:\n%s", e.name, out)
+			}
+			t.Logf("\n%s", out)
+		})
+	}
+}
+
+// TestOptimizationReducesVolume checks the repository's headline claim: the
+// fully-optimized configuration (OSTI) moves strictly fewer bytes than
+// UNOPT for every benchmark on a vertex-cut partitioning.
+func TestOptimizationReducesVolume(t *testing.T) {
+	p := TestParams()
+	for _, benchName := range Benchmarks {
+		wl, err := NewWorkload("rmat", p, benchName == "sssp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var vols = map[string]uint64{}
+		for _, oc := range OptConfigs() {
+			m, err := RunSpec(Spec{System: DGalois, Benchmark: benchName, Hosts: 4,
+				Policy: "cvc", Opt: oc.Opt}, wl, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vols[oc.Name] = m.CommBytes
+		}
+		if vols["OSTI"] >= vols["UNOPT"] {
+			t.Errorf("%s: OSTI volume %d not below UNOPT %d", benchName, vols["OSTI"], vols["UNOPT"])
+		}
+		t.Logf("%s: UNOPT=%d OSI=%d OTI=%d OSTI=%d", benchName,
+			vols["UNOPT"], vols["OSI"], vols["OTI"], vols["OSTI"])
+	}
+}
+
+// TestGeminiBaselineSendsMore checks the Figure 8b shape: the baseline's
+// communication volume exceeds the Gluon systems' on vertex-cut runs.
+func TestGeminiBaselineSendsMore(t *testing.T) {
+	p := TestParams()
+	wl, err := NewWorkload("rmat", p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gal, err := RunSpec(Spec{System: DGalois, Benchmark: "bfs", Hosts: 4,
+		Policy: "cvc", Opt: gluon.Opt()}, wl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gem, err := RunSpec(Spec{System: Gemini, Benchmark: "bfs", Hosts: 4}, wl, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gem.CommBytes <= gal.CommBytes {
+		t.Errorf("baseline volume %d not above d-galois %d", gem.CommBytes, gal.CommBytes)
+	}
+	t.Logf("bfs volumes: gemini=%d d-galois=%d (%.1fx)",
+		gem.CommBytes, gal.CommBytes, float64(gem.CommBytes)/float64(gal.CommBytes))
+}
+
+// TestAblations runs the extra ablation studies and checks the adaptive
+// encoding never loses to a fixed one on volume.
+func TestAblations(t *testing.T) {
+	p := TestParams()
+	var buf bytes.Buffer
+	if err := AblationEncodings(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NOTE: adaptive lost") {
+		t.Fatalf("adaptive encoding lost to a fixed encoding:\n%s", buf.String())
+	}
+	t.Logf("\n%s", buf.String())
+	buf.Reset()
+	if err := AblationSubsets(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", buf.String())
+}

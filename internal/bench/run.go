@@ -1,0 +1,223 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"gluon/internal/algorithms/bfs"
+	"gluon/internal/algorithms/cc"
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/algorithms/sssp"
+	"gluon/internal/dsys"
+	"gluon/internal/gemini"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+)
+
+// SystemID names a system under test.
+type SystemID string
+
+// The systems of the evaluation.
+const (
+	DLigra  SystemID = "d-ligra"
+	DGalois SystemID = "d-galois"
+	DIrGL   SystemID = "d-irgl"
+	Gemini  SystemID = "gemini"
+)
+
+// Benchmarks are the four applications of the evaluation.
+var Benchmarks = []string{"bfs", "cc", "pr", "sssp"}
+
+// Spec is one experimental configuration.
+type Spec struct {
+	System    SystemID
+	Benchmark string // bfs, cc, pr, sssp
+	Hosts     int
+	Policy    partition.Kind
+	Opt       gluon.Options
+}
+
+// Measurement is one run's outcome.
+type Measurement struct {
+	Spec       Spec
+	Time       time.Duration
+	MaxCompute time.Duration
+	CommBytes  uint64
+	Rounds     int
+}
+
+// CommTime returns the non-overlapping communication estimate (wall minus
+// max-compute), clamped at zero — the Figure 10 split.
+func (m Measurement) CommTime() time.Duration {
+	if m.Time <= m.MaxCompute {
+		return 0
+	}
+	return m.Time - m.MaxCompute
+}
+
+// factoryFor builds the program factory for a Gluon-based spec.
+func factoryFor(s Spec, w *Workload, p Params) (dsys.ProgramFactory, error) {
+	workers := p.Workers
+	switch s.Benchmark {
+	case "bfs":
+		switch s.System {
+		case DLigra:
+			return bfs.NewLigra(uint64(w.Source), workers), nil
+		case DGalois:
+			return bfs.NewGalois(uint64(w.Source), workers), nil
+		case DIrGL:
+			return bfs.NewIrGL(uint64(w.Source), workers), nil
+		}
+	case "sssp":
+		switch s.System {
+		case DLigra:
+			return sssp.NewLigra(uint64(w.Source), workers), nil
+		case DGalois:
+			return sssp.NewGalois(uint64(w.Source), workers), nil
+		case DIrGL:
+			return sssp.NewIrGL(uint64(w.Source), workers), nil
+		}
+	case "cc":
+		switch s.System {
+		case DLigra:
+			return cc.NewLigra(workers), nil
+		case DGalois:
+			return cc.NewGalois(workers), nil
+		case DIrGL:
+			return cc.NewIrGL(workers), nil
+		}
+	case "pr":
+		switch s.System {
+		case DLigra:
+			return pr.NewLigra(p.PRTolerance, workers), nil
+		case DGalois:
+			return pr.NewGalois(p.PRTolerance, workers), nil
+		case DIrGL:
+			return pr.NewIrGL(p.PRTolerance, workers), nil
+		}
+	}
+	return nil, fmt.Errorf("bench: no factory for %s/%s", s.System, s.Benchmark)
+}
+
+// RunSpec executes one configuration and returns the measurement.
+func RunSpec(s Spec, w *Workload, p Params) (Measurement, error) {
+	m := Measurement{Spec: s}
+	edges := w.Edges
+	popt := w.PolicyOptions()
+	if s.Benchmark == "cc" {
+		edges, _ = w.Symmetrized()
+		popt = w.SymPolicyOptions()
+	}
+	maxRounds := 0
+	if s.Benchmark == "pr" {
+		maxRounds = p.PRMaxIters
+	}
+
+	if s.System == Gemini {
+		res, err := gemini.Run(w.NumNodes, edges, gemini.Algorithm(s.Benchmark), gemini.Config{
+			Hosts:     s.Hosts,
+			Workers:   p.Workers,
+			Source:    uint64(w.Source),
+			Tolerance: p.PRTolerance,
+			MaxIters:  p.PRMaxIters,
+			Net:       p.Net,
+		})
+		if err != nil {
+			return m, err
+		}
+		m.Time = res.Time
+		m.CommBytes = res.TotalCommBytes
+		m.Rounds = res.Rounds
+		return m, nil
+	}
+
+	factory, err := factoryFor(s, w, p)
+	if err != nil {
+		return m, err
+	}
+	res, err := dsys.Run(w.NumNodes, edges, dsys.RunConfig{
+		Hosts:         s.Hosts,
+		Policy:        s.Policy,
+		Opt:           s.Opt,
+		PolicyOptions: popt,
+		MaxRounds:     maxRounds,
+		Net:           p.Net,
+	}, factory)
+	if err != nil {
+		return m, err
+	}
+	m.Time = res.Time
+	m.MaxCompute = res.MaxCompute
+	m.CommBytes = res.TotalCommBytes
+	m.Rounds = res.Rounds
+	return m, nil
+}
+
+// RunSpecPartitioned executes a Gluon-based configuration over pre-built
+// partitions (Figure 10 reuses one partitioning across optimization
+// settings).
+func RunSpecPartitioned(s Spec, w *Workload, p Params, parts []*partition.Partition) (Measurement, error) {
+	m := Measurement{Spec: s}
+	factory, err := factoryFor(s, w, p)
+	if err != nil {
+		return m, err
+	}
+	maxRounds := 0
+	if s.Benchmark == "pr" {
+		maxRounds = p.PRMaxIters
+	}
+	res, err := dsys.RunPartitioned(parts, dsys.RunConfig{
+		Hosts:     s.Hosts,
+		Policy:    s.Policy,
+		Opt:       s.Opt,
+		MaxRounds: maxRounds,
+		Net:       p.Net,
+	}, factory)
+	if err != nil {
+		return m, err
+	}
+	m.Time = res.Time
+	m.MaxCompute = res.MaxCompute
+	m.CommBytes = res.TotalCommBytes
+	m.Rounds = res.Rounds
+	return m, nil
+}
+
+// Geomean returns the geometric mean of positive ratios.
+func Geomean(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return 0
+	}
+	var sum float64
+	n := 0
+	for _, r := range ratios {
+		if r > 0 {
+			sum += math.Log(r)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// fmtBytes renders a byte count the way the paper annotates volumes.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+// fmtDur renders a duration with ms precision.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.3fs", d.Seconds())
+}

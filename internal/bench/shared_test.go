@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"testing"
+
+	"gluon/internal/fields"
+	"gluon/internal/ref"
+)
+
+// TestSharedEnginesCorrect: the Table 4 shared-memory baselines compute
+// the same answers as the sequential references (they feed a comparison
+// table, so silent wrongness would poison it).
+func TestSharedEnginesCorrect(t *testing.T) {
+	p := TestParams()
+	wl, err := NewWorkload("rmat", p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// bfs via both engines.
+	wantBFS := ref.BFS(wl.CSR, wl.Source)
+	gotL := sharedLigraBFS(wl.CSR, wl.Source, 2)
+	gotG := sharedGaloisLabelProp(wl.CSR, initSourceLabels(wl.CSR, wl.Source), 2, stepHop)
+	for u := range wantBFS {
+		if gotL[u] != wantBFS[u] {
+			t.Fatalf("ligra bfs node %d: %d, want %d", u, gotL[u], wantBFS[u])
+		}
+		if gotG[u] != wantBFS[u] {
+			t.Fatalf("galois bfs node %d: %d, want %d", u, gotG[u], wantBFS[u])
+		}
+	}
+
+	// sssp via both engines (weighted workload).
+	wantSSSP := ref.SSSP(wl.CSR, wl.Source)
+	gotL = sharedLigraSSSP(wl.CSR, wl.Source, 2)
+	gotG = sharedGaloisLabelProp(wl.CSR, initSourceLabels(wl.CSR, wl.Source), 2, stepWeight)
+	for u := range wantSSSP {
+		if gotL[u] != wantSSSP[u] || gotG[u] != wantSSSP[u] {
+			t.Fatalf("sssp node %d: ligra %d galois %d want %d", u, gotL[u], gotG[u], wantSSSP[u])
+		}
+	}
+
+	// cc on the symmetrized graph.
+	_, symCSR := wl.Symmetrized()
+	wantCC := ref.CC(symCSR)
+	gotL = sharedLigraCC(symCSR, 2)
+	gotG = sharedGaloisLabelProp(symCSR, initGIDLabels(symCSR), 2, stepNone)
+	for u := range wantCC {
+		if gotL[u] != wantCC[u] || gotG[u] != wantCC[u] {
+			t.Fatalf("cc node %d: ligra %d galois %d want %d", u, gotL[u], gotG[u], wantCC[u])
+		}
+	}
+
+	// pr against the reference power iteration.
+	wantPR := ref.PageRank(wl.CSR, 0.85, 1e-9, 100)
+	gotPR := sharedPR(wl.CSR, 1e-9, 100, 2)
+	for u := range wantPR {
+		d := gotPR[u] - wantPR[u]
+		if d > 1e-9 || d < -1e-9 {
+			t.Fatalf("pr node %d: %g, want %g", u, gotPR[u], wantPR[u])
+		}
+	}
+	_ = fields.InfinityU32
+}
+
+// TestRunSharedDispatch covers the string-dispatch wrapper.
+func TestRunSharedDispatch(t *testing.T) {
+	p := TestParams()
+	wl, err := NewWorkload("rmat", p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, engine := range []string{"ligra", "galois"} {
+		for _, b := range Benchmarks {
+			if _, err := RunShared(engine, b, wl, p); err != nil {
+				t.Fatalf("%s/%s: %v", engine, b, err)
+			}
+		}
+	}
+	if _, err := RunShared("bogus", "bfs", wl, p); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+	if _, err := RunShared("ligra", "bogus", wl, p); err == nil {
+		t.Fatal("bogus benchmark accepted")
+	}
+}

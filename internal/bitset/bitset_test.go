@@ -1,0 +1,249 @@
+package bitset
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []uint32{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+		b.Clear(i)
+		if b.Test(i) {
+			t.Fatalf("bit %d still set after Clear", i)
+		}
+	}
+}
+
+func TestCountAndAny(t *testing.T) {
+	b := New(200)
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("fresh bitset not empty")
+	}
+	idx := []uint32{3, 64, 65, 199}
+	for _, i := range idx {
+		b.Set(i)
+	}
+	if got := b.Count(); got != uint32(len(idx)) {
+		t.Fatalf("Count = %d, want %d", got, len(idx))
+	}
+	if !b.Any() {
+		t.Fatal("Any = false with bits set")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestSetAllTrimsTail(t *testing.T) {
+	for _, n := range []uint32{1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("n=%d: Count after SetAll = %d", n, got)
+		}
+	}
+}
+
+func TestForEachOrderAndIndices(t *testing.T) {
+	b := New(300)
+	want := []uint32{0, 7, 64, 128, 255, 299}
+	for _, i := range want {
+		b.Set(i)
+	}
+	got := b.AppendIndices(nil)
+	if len(got) != len(want) {
+		t.Fatalf("indices = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("indices[%d] = %d, want %d (ascending order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNextSet(t *testing.T) {
+	b := New(200)
+	b.Set(5)
+	b.Set(64)
+	b.Set(199)
+	cases := []struct{ from, want uint32 }{
+		{0, 5}, {5, 5}, {6, 64}, {64, 64}, {65, 199}, {199, 199}, {200, 200},
+	}
+	for _, c := range cases {
+		if got := b.NextSet(c.from); got != c.want {
+			t.Errorf("NextSet(%d) = %d, want %d", c.from, got, c.want)
+		}
+	}
+	if got := b.NextSet(1000); got != 200 {
+		t.Errorf("NextSet past end = %d, want Len", got)
+	}
+}
+
+func TestUnionAndClone(t *testing.T) {
+	a := New(100)
+	b := New(100)
+	a.Set(1)
+	b.Set(2)
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Test(1) || !a.Test(2) {
+		t.Fatal("union missing bits")
+	}
+	c := a.Clone()
+	c.Set(50)
+	if a.Test(50) {
+		t.Fatal("Clone shares storage")
+	}
+	if err := a.Union(New(99)); err == nil {
+		t.Fatal("Union with mismatched length did not error")
+	}
+	if err := a.CopyFrom(New(99)); err == nil {
+		t.Fatal("CopyFrom with mismatched length did not error")
+	}
+}
+
+func TestFromWords(t *testing.T) {
+	if _, err := FromWords([]uint64{1}, 128); err == nil {
+		t.Fatal("FromWords accepted too-short slice")
+	}
+	b, err := FromWords([]uint64{0b101}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Test(0) || b.Test(1) || !b.Test(2) {
+		t.Fatal("FromWords bits wrong")
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	b := New(128)
+	for _, i := range []uint32{0, 10, 63, 64, 127} {
+		b.Set(i)
+	}
+	if got := b.CountRange(0, 128); got != 5 {
+		t.Fatalf("CountRange full = %d", got)
+	}
+	if got := b.CountRange(1, 64); got != 2 {
+		t.Fatalf("CountRange(1,64) = %d, want 2", got)
+	}
+	if got := b.CountRange(64, 64); got != 0 {
+		t.Fatalf("CountRange empty = %d", got)
+	}
+	if got := b.CountRange(100, 500); got != 1 {
+		t.Fatalf("CountRange clamped = %d, want 1", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	b := New(16)
+	b.Set(1)
+	b.Set(5)
+	if got := b.String(); got != "{1,5}/16" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+// TestQuickCountMatchesNaive: for arbitrary index sets, Count equals the
+// size of the deduplicated set and Test matches membership.
+func TestQuickCountMatchesNaive(t *testing.T) {
+	f := func(indices []uint32) bool {
+		const n = 512
+		b := New(n)
+		member := map[uint32]bool{}
+		for _, i := range indices {
+			i %= n
+			b.Set(i)
+			member[i] = true
+		}
+		if b.Count() != uint32(len(member)) {
+			return false
+		}
+		for i := uint32(0); i < n; i++ {
+			if b.Test(i) != member[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickForEachIsSortedMembership: ForEach visits exactly the member
+// set in strictly ascending order.
+func TestQuickForEachIsSortedMembership(t *testing.T) {
+	f := func(indices []uint32) bool {
+		const n = 1024
+		b := New(n)
+		for _, i := range indices {
+			b.Set(i % n)
+		}
+		prev := -1
+		ok := true
+		b.ForEach(func(i uint32) {
+			if int(i) <= prev || !b.Test(i) {
+				ok = false
+			}
+			prev = int(i)
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSet(t *testing.T) {
+	const n = 1 << 14
+	b := New(n)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 4096; i++ {
+				b.Set(uint32(r.Intn(n)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every set bit must be testable; count must equal ForEach visits.
+	var visits uint32
+	b.ForEach(func(i uint32) { visits++ })
+	if visits != b.Count() {
+		t.Fatalf("ForEach visits %d != Count %d", visits, b.Count())
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	s := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Set(uint32(i) & (1<<20 - 1))
+	}
+}
+
+func BenchmarkForEachSparse(b *testing.B) {
+	s := New(1 << 20)
+	for i := uint32(0); i < 1<<20; i += 997 {
+		s.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(uint32) {})
+	}
+}

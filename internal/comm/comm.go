@@ -1,0 +1,290 @@
+// Package comm provides the message transport Gluon runs over.
+//
+// The paper's Gluon sits on MPI or LCI (Figure 1). Here the same role is
+// played by a small point-to-point transport interface with two
+// implementations: an in-process one over Go channels (hosts are
+// goroutines) and a TCP one over net (hosts may be separate processes).
+// Gluon itself is transport-agnostic: it produces byte payloads and tags,
+// exactly as it hands buffers to MPI in the original system.
+//
+// On top of point-to-point sends the package builds the collectives BSP
+// execution needs: barrier, all-reduce, and all-gather.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NetModel adds simulated network costs to the in-process transport: each
+// message occupies its (sender, receiver) link for
+// Latency + size/Bandwidth, and links serialize their messages, so a
+// communication-heavy system slows down in proportion to what it sends —
+// the regime the paper's clusters operate in (DESIGN.md §2 explains the
+// substitution). The zero value disables modeling (instant delivery).
+type NetModel struct {
+	// Latency is the per-message link latency.
+	Latency time.Duration
+	// Bandwidth is the per-link throughput in bytes/second (0 = infinite).
+	Bandwidth float64
+}
+
+// Enabled reports whether any cost is modeled.
+func (m NetModel) Enabled() bool { return m.Latency > 0 || m.Bandwidth > 0 }
+
+// cost returns the link occupancy of one message of the given size.
+func (m NetModel) cost(size int) time.Duration {
+	d := m.Latency
+	if m.Bandwidth > 0 {
+		d += time.Duration(float64(size) / m.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// Tag identifies the logical stream a message belongs to. Matching is done
+// on (sender, tag): a receiver asks for the next message with a given tag
+// from a given peer. Gluon derives tags from (field, round parity, pattern)
+// so concurrent field syncs never cross.
+type Tag uint32
+
+// Reserved tag ranges for the runtime's own protocols.
+const (
+	TagBarrier   Tag = 0xFFFF0001
+	TagAllReduce Tag = 0xFFFF0002
+	TagAllGather Tag = 0xFFFF0003
+	TagMemo      Tag = 0xFFFF0004
+	TagTerm      Tag = 0xFFFF0005
+	TagUser      Tag = 0x00010000 // first tag available to applications
+)
+
+// Transport is a reliable, ordered (per sender/tag pair) point-to-point
+// message layer between NumHosts hosts.
+type Transport interface {
+	// HostID returns this endpoint's rank in [0, NumHosts).
+	HostID() int
+	// NumHosts returns the number of hosts in the communicator.
+	NumHosts() int
+	// Send delivers payload to host `to` under `tag`. The payload is owned
+	// by the transport after Send returns; callers must not modify it.
+	// Sending to self is allowed and loops back.
+	Send(to int, tag Tag, payload []byte) error
+	// Recv blocks until a message with the given tag arrives from host
+	// `from`, and returns its payload.
+	Recv(from int, tag Tag) ([]byte, error)
+	// Stats returns cumulative transport-level counters for this endpoint.
+	Stats() Stats
+	// Close releases resources. Further Sends fail; pending Recvs unblock
+	// with an error.
+	Close() error
+}
+
+// Stats counts traffic through one endpoint.
+type Stats struct {
+	MessagesSent  uint64
+	BytesSent     uint64
+	MessagesRecvd uint64
+	BytesRecvd    uint64
+}
+
+type counters struct {
+	msgsSent, bytesSent   atomic.Uint64
+	msgsRecvd, bytesRecvd atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		MessagesSent:  c.msgsSent.Load(),
+		BytesSent:     c.bytesSent.Load(),
+		MessagesRecvd: c.msgsRecvd.Load(),
+		BytesRecvd:    c.bytesRecvd.Load(),
+	}
+}
+
+// mailbox holds arrived messages not yet claimed by Recv, keyed by
+// (sender, tag). It is the demultiplexer both transports share. Entries
+// carry a readiness time so the in-process transport can simulate link
+// costs (see NetModel) without breaking per-(sender, tag) FIFO order.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mailKey][]mailEntry
+	closed bool
+}
+
+type mailKey struct {
+	from int
+	tag  Tag
+}
+
+type mailEntry struct {
+	payload []byte
+	readyAt time.Time // zero means immediately available
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{queues: make(map[mailKey][]mailEntry)}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(from int, tag Tag, payload []byte) {
+	m.putAt(from, tag, payload, time.Time{})
+}
+
+func (m *mailbox) putAt(from int, tag Tag, payload []byte, readyAt time.Time) {
+	m.mu.Lock()
+	k := mailKey{from, tag}
+	m.queues[k] = append(m.queues[k], mailEntry{payload: payload, readyAt: readyAt})
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
+	k := mailKey{from, tag}
+	m.mu.Lock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			e := q[0]
+			if wait := time.Until(e.readyAt); wait > 0 {
+				// Simulated transfer still in flight: sleep it off without
+				// holding the lock, then re-check (the queue head cannot
+				// change order — entries per key are FIFO and only get
+				// consumes them, but another Recv on the same key could
+				// take it, so loop).
+				m.mu.Unlock()
+				time.Sleep(wait)
+				m.mu.Lock()
+				continue
+			}
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			m.mu.Unlock()
+			return e.payload, nil
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("comm: transport closed while waiting for tag %#x from host %d", tag, from)
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// Barrier blocks until every host has entered the barrier. It uses a
+// dissemination pattern: log2(n) rounds of pairwise messages, so it is
+// correct for any transport without a coordinator.
+func Barrier(t Transport) error {
+	n := t.NumHosts()
+	if n == 1 {
+		return nil
+	}
+	me := t.HostID()
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		if err := t.Send(to, TagBarrier, nil); err != nil {
+			return err
+		}
+		if _, err := t.Recv(from, TagBarrier); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllReduceUint64 combines each host's value with op (must be associative
+// and commutative) and returns the combined value on every host. Host 0
+// gathers, reduces, and broadcasts.
+func AllReduceUint64(t Transport, val uint64, op func(a, b uint64) uint64) (uint64, error) {
+	n := t.NumHosts()
+	if n == 1 {
+		return val, nil
+	}
+	me := t.HostID()
+	buf := make([]byte, 8)
+	if me == 0 {
+		acc := val
+		for h := 1; h < n; h++ {
+			p, err := t.Recv(h, TagAllReduce)
+			if err != nil {
+				return 0, err
+			}
+			acc = op(acc, binary.LittleEndian.Uint64(p))
+		}
+		binary.LittleEndian.PutUint64(buf, acc)
+		for h := 1; h < n; h++ {
+			out := make([]byte, 8)
+			copy(out, buf)
+			if err := t.Send(h, TagAllReduce, out); err != nil {
+				return 0, err
+			}
+		}
+		return acc, nil
+	}
+	binary.LittleEndian.PutUint64(buf, val)
+	if err := t.Send(0, TagAllReduce, buf); err != nil {
+		return 0, err
+	}
+	p, err := t.Recv(0, TagAllReduce)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// AllReduceSum is AllReduceUint64 with addition.
+func AllReduceSum(t Transport, val uint64) (uint64, error) {
+	return AllReduceUint64(t, val, func(a, b uint64) uint64 { return a + b })
+}
+
+// AllReduceMax is AllReduceUint64 with max.
+func AllReduceMax(t Transport, val uint64) (uint64, error) {
+	return AllReduceUint64(t, val, func(a, b uint64) uint64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllGather sends this host's payload to every other host and returns all
+// hosts' payloads indexed by host ID (own payload included, not copied).
+func AllGather(t Transport, payload []byte) ([][]byte, error) {
+	n := t.NumHosts()
+	me := t.HostID()
+	out := make([][]byte, n)
+	out[me] = payload
+	for h := 0; h < n; h++ {
+		if h == me {
+			continue
+		}
+		cp := make([]byte, len(payload))
+		copy(cp, payload)
+		if err := t.Send(h, TagAllGather, cp); err != nil {
+			return nil, err
+		}
+	}
+	for h := 0; h < n; h++ {
+		if h == me {
+			continue
+		}
+		p, err := t.Recv(h, TagAllGather)
+		if err != nil {
+			return nil, err
+		}
+		out[h] = p
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Hub connects n in-process endpoints. Hosts are goroutines; Send is a
+// direct enqueue into the receiver's mailbox. This is the default transport
+// for experiments: it carries the exact byte payloads Gluon would hand to
+// MPI, so communication-volume measurements are faithful, while keeping
+// whole clusters inside one test binary. An optional NetModel adds
+// simulated per-link delivery costs for timing experiments.
+type Hub struct {
+	endpoints []*inprocEndpoint
+	model     NetModel
+	links     [][]linkState // links[from][to]
+	closeOnce sync.Once
+}
+
+type linkState struct {
+	mu        sync.Mutex
+	busyUntil time.Time
+}
+
+// NewHub creates a hub with n endpoints and instant delivery.
+func NewHub(n int) *Hub { return NewHubWithModel(n, NetModel{}) }
+
+// NewHubWithModel creates a hub whose message deliveries pay the modeled
+// link costs.
+func NewHubWithModel(n int, m NetModel) *Hub {
+	h := &Hub{endpoints: make([]*inprocEndpoint, n), model: m}
+	if m.Enabled() {
+		h.links = make([][]linkState, n)
+		for i := range h.links {
+			h.links[i] = make([]linkState, n)
+		}
+	}
+	for i := 0; i < n; i++ {
+		h.endpoints[i] = &inprocEndpoint{hub: h, id: i, mbox: newMailbox()}
+	}
+	return h
+}
+
+// deliveryTime reserves the link from→to for one message of the given size
+// and returns when it arrives.
+func (h *Hub) deliveryTime(from, to, size int) time.Time {
+	l := &h.links[from][to]
+	cost := h.model.cost(size)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := time.Now()
+	if l.busyUntil.After(start) {
+		start = l.busyUntil
+	}
+	l.busyUntil = start.Add(cost)
+	return l.busyUntil
+}
+
+// Endpoint returns host i's transport.
+func (h *Hub) Endpoint(i int) Transport { return h.endpoints[i] }
+
+// Endpoints returns all transports, indexed by host ID.
+func (h *Hub) Endpoints() []Transport {
+	out := make([]Transport, len(h.endpoints))
+	for i, e := range h.endpoints {
+		out[i] = e
+	}
+	return out
+}
+
+// Close shuts down every endpoint.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() {
+		for _, e := range h.endpoints {
+			e.mbox.close()
+		}
+	})
+}
+
+type inprocEndpoint struct {
+	hub  *Hub
+	id   int
+	mbox *mailbox
+	ctr  counters
+}
+
+func (e *inprocEndpoint) HostID() int   { return e.id }
+func (e *inprocEndpoint) NumHosts() int { return len(e.hub.endpoints) }
+
+func (e *inprocEndpoint) Send(to int, tag Tag, payload []byte) error {
+	if to < 0 || to >= len(e.hub.endpoints) {
+		return fmt.Errorf("comm: send to host %d of %d", to, len(e.hub.endpoints))
+	}
+	e.ctr.msgsSent.Add(1)
+	e.ctr.bytesSent.Add(uint64(len(payload)))
+	dst := e.hub.endpoints[to]
+	dst.ctr.msgsRecvd.Add(1)
+	dst.ctr.bytesRecvd.Add(uint64(len(payload)))
+	if e.hub.model.Enabled() && to != e.id {
+		dst.mbox.putAt(e.id, tag, payload, e.hub.deliveryTime(e.id, to, len(payload)))
+	} else {
+		dst.mbox.put(e.id, tag, payload)
+	}
+	return nil
+}
+
+func (e *inprocEndpoint) Recv(from int, tag Tag) ([]byte, error) {
+	return e.mbox.get(from, tag)
+}
+
+func (e *inprocEndpoint) Stats() Stats { return e.ctr.snapshot() }
+
+func (e *inprocEndpoint) Close() error {
+	e.mbox.close()
+	return nil
+}

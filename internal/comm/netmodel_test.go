@@ -1,0 +1,113 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNetModelCost(t *testing.T) {
+	m := NetModel{Latency: time.Millisecond, Bandwidth: 1000} // 1000 B/s
+	if !m.Enabled() {
+		t.Fatal("model not enabled")
+	}
+	if got := m.cost(0); got != time.Millisecond {
+		t.Fatalf("cost(0) = %v", got)
+	}
+	if got := m.cost(500); got != time.Millisecond+500*time.Millisecond {
+		t.Fatalf("cost(500) = %v", got)
+	}
+	var zero NetModel
+	if zero.Enabled() {
+		t.Fatal("zero model enabled")
+	}
+	if zero.cost(1<<20) != 0 {
+		t.Fatal("zero model has cost")
+	}
+	latOnly := NetModel{Latency: time.Millisecond}
+	if latOnly.cost(1<<20) != time.Millisecond {
+		t.Fatal("latency-only model charged for bytes")
+	}
+}
+
+func TestModeledDeliveryDelays(t *testing.T) {
+	hub := NewHubWithModel(2, NetModel{Latency: 30 * time.Millisecond})
+	defer hub.Close()
+	start := time.Now()
+	if err := hub.Endpoint(0).Send(1, TagUser, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hub.Endpoint(1).Recv(0, TagUser); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Fatalf("delivery after %v, want ≥ ~30ms", elapsed)
+	}
+}
+
+func TestModeledSelfSendInstant(t *testing.T) {
+	hub := NewHubWithModel(1, NetModel{Latency: time.Second})
+	defer hub.Close()
+	start := time.Now()
+	hub.Endpoint(0).Send(0, TagUser, []byte("x"))
+	hub.Endpoint(0).Recv(0, TagUser)
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("self-send paid link cost")
+	}
+}
+
+// TestModeledLinkSerializes: n messages on one link take ~n × cost, while
+// messages on distinct links ride in parallel.
+func TestModeledLinkSerializes(t *testing.T) {
+	const per = 20 * time.Millisecond
+	hub := NewHubWithModel(3, NetModel{Latency: per})
+	defer hub.Close()
+
+	// Same link: 4 messages → ≥ 4×per before the last arrives.
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		hub.Endpoint(0).Send(1, TagUser, []byte{byte(i)})
+	}
+	for i := 0; i < 4; i++ {
+		hub.Endpoint(1).Recv(0, TagUser)
+	}
+	serial := time.Since(start)
+	if serial < 4*per-5*time.Millisecond {
+		t.Fatalf("serialized link took %v, want ≥ %v", serial, 4*per)
+	}
+
+	// Distinct links: parallel.
+	start = time.Now()
+	var wg sync.WaitGroup
+	for _, dst := range []int{1, 2} {
+		wg.Add(1)
+		go func(dst int) {
+			defer wg.Done()
+			hub.Endpoint(0).Send(dst, TagUser+1, []byte("y"))
+			hub.Endpoint(dst).Recv(0, TagUser+1)
+		}(dst)
+	}
+	wg.Wait()
+	if parallel := time.Since(start); parallel > 3*per {
+		t.Fatalf("distinct links took %v, want ~%v", parallel, per)
+	}
+}
+
+// TestModeledFIFOPreserved: delivery order per (sender, tag) survives the
+// delay machinery.
+func TestModeledFIFOPreserved(t *testing.T) {
+	hub := NewHubWithModel(2, NetModel{Latency: time.Millisecond})
+	defer hub.Close()
+	for i := 0; i < 50; i++ {
+		hub.Endpoint(0).Send(1, TagUser, []byte{byte(i)})
+	}
+	for i := 0; i < 50; i++ {
+		got, err := hub.Endpoint(1).Recv(0, TagUser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != byte(i) {
+			t.Fatalf("message %d out of order: %d", i, got[0])
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint is a Transport over real sockets. Each endpoint listens on an
+// address; a full mesh of connections is established at dial time. The wire
+// format per message is a 10-byte header (from uint32 for sanity checking is
+// implicit in the connection; tag uint32, length uint32, then payload),
+// little-endian.
+//
+// It exists so clusters of separate OS processes can run Gluon systems (see
+// examples/tcp-cluster); functionally it is interchangeable with Hub.
+type TCPEndpoint struct {
+	id    int
+	addrs []string
+	mbox  *mailbox
+	ctr   counters
+
+	mu       sync.Mutex
+	conns    []net.Conn // conns[i] carries traffic to/from host i
+	listener net.Listener
+	wg       sync.WaitGroup
+	closed   bool
+}
+
+const tcpHeaderLen = 8 // tag uint32 + length uint32
+
+// DialTCP creates host id's endpoint of an n-host TCP communicator.
+// addrs[i] is the listen address of host i; addrs[id] is where this
+// endpoint listens. DialTCP blocks until the full connection mesh is
+// established: each endpoint accepts connections from lower-ranked hosts
+// and dials higher-ranked hosts.
+func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
+	n := len(addrs)
+	if id < 0 || id >= n {
+		return nil, fmt.Errorf("comm: host id %d out of range [0,%d)", id, n)
+	}
+	e := &TCPEndpoint{id: id, addrs: addrs, mbox: newMailbox(), conns: make([]net.Conn, n)}
+	ln, err := net.Listen("tcp", addrs[id])
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen %s: %w", addrs[id], err)
+	}
+	e.listener = ln
+
+	errc := make(chan error, 2)
+	var setup sync.WaitGroup
+
+	// Accept connections from lower-ranked peers; each sends its rank first.
+	setup.Add(1)
+	go func() {
+		defer setup.Done()
+		for i := 0; i < id; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("comm: accept: %w", err)
+				return
+			}
+			var rank [4]byte
+			if _, err := io.ReadFull(conn, rank[:]); err != nil {
+				errc <- fmt.Errorf("comm: handshake read: %w", err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(rank[:]))
+			if peer >= id || peer < 0 || peer >= n {
+				errc <- fmt.Errorf("comm: unexpected peer rank %d", peer)
+				return
+			}
+			e.mu.Lock()
+			e.conns[peer] = conn
+			e.mu.Unlock()
+		}
+	}()
+
+	// Dial higher-ranked peers, announcing our rank.
+	setup.Add(1)
+	go func() {
+		defer setup.Done()
+		for i := id + 1; i < n; i++ {
+			conn, err := dialRetry(addrs[i])
+			if err != nil {
+				errc <- fmt.Errorf("comm: dial host %d (%s): %w", i, addrs[i], err)
+				return
+			}
+			var rank [4]byte
+			binary.LittleEndian.PutUint32(rank[:], uint32(id))
+			if _, err := conn.Write(rank[:]); err != nil {
+				errc <- fmt.Errorf("comm: handshake write: %w", err)
+				return
+			}
+			e.mu.Lock()
+			e.conns[i] = conn
+			e.mu.Unlock()
+		}
+	}()
+
+	setup.Wait()
+	select {
+	case err := <-errc:
+		e.Close()
+		return nil, err
+	default:
+	}
+
+	for i, conn := range e.conns {
+		if i == id || conn == nil {
+			continue
+		}
+		e.wg.Add(1)
+		go e.readLoop(i, conn)
+	}
+	return e, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for attempt := 0; attempt < 200; attempt++ {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
+	defer e.wg.Done()
+	hdr := make([]byte, tcpHeaderLen)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // connection closed
+		}
+		tag := Tag(binary.LittleEndian.Uint32(hdr[0:]))
+		length := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		e.ctr.msgsRecvd.Add(1)
+		e.ctr.bytesRecvd.Add(uint64(length))
+		e.mbox.put(from, tag, payload)
+	}
+}
+
+// HostID implements Transport.
+func (e *TCPEndpoint) HostID() int { return e.id }
+
+// NumHosts implements Transport.
+func (e *TCPEndpoint) NumHosts() int { return len(e.addrs) }
+
+// Send implements Transport.
+func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
+	if to == e.id {
+		e.ctr.msgsSent.Add(1)
+		e.ctr.bytesSent.Add(uint64(len(payload)))
+		e.ctr.msgsRecvd.Add(1)
+		e.ctr.bytesRecvd.Add(uint64(len(payload)))
+		e.mbox.put(e.id, tag, payload)
+		return nil
+	}
+	if to < 0 || to >= len(e.addrs) {
+		return fmt.Errorf("comm: send to host %d of %d", to, len(e.addrs))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("comm: endpoint closed")
+	}
+	conn := e.conns[to]
+	buf := make([]byte, tcpHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(tag))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	copy(buf[tcpHeaderLen:], payload)
+	if _, err := conn.Write(buf); err != nil {
+		return fmt.Errorf("comm: send to host %d: %w", to, err)
+	}
+	e.ctr.msgsSent.Add(1)
+	e.ctr.bytesSent.Add(uint64(len(payload)))
+	return nil
+}
+
+// Recv implements Transport.
+func (e *TCPEndpoint) Recv(from int, tag Tag) ([]byte, error) {
+	return e.mbox.get(from, tag)
+}
+
+// Stats implements Transport.
+func (e *TCPEndpoint) Stats() Stats { return e.ctr.snapshot() }
+
+// Addr returns the address this endpoint is actually listening on (useful
+// when the configured address used port 0).
+func (e *TCPEndpoint) Addr() string {
+	if e.listener == nil {
+		return ""
+	}
+	return e.listener.Addr().String()
+}
+
+// Close implements Transport.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.mu.Unlock()
+
+	if e.listener != nil {
+		e.listener.Close()
+	}
+	for i, c := range conns {
+		if i != e.id && c != nil {
+			c.Close()
+		}
+	}
+	e.mbox.close()
+	e.wg.Wait()
+	return nil
+}

@@ -1,0 +1,296 @@
+// Package dsys is the distributed BSP runner that turns (engine + Gluon)
+// into a distributed graph analytics system: D-Ligra, D-Galois, and D-IrGL
+// are all instances of the same loop here, differing only in the Program
+// the algorithm packages construct (which engine executes each round).
+//
+// The execution model is the paper's §2.2: rounds of local computation on
+// each host's partition, a field synchronization between rounds, and a
+// global quiescence check (all-reduce of active-work counts).
+package dsys
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gluon/internal/bitset"
+	"gluon/internal/comm"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+)
+
+// Program is one host's instance of a vertex program bound to a concrete
+// engine. The algorithm packages provide constructors per engine.
+type Program interface {
+	// Name identifies the algorithm ("bfs", "cc", "pr", "sssp").
+	Name() string
+	// Init initializes fields (possibly with one-time synchronization) and
+	// returns the initially active local proxies.
+	Init() (*bitset.Bitset, error)
+	// Round applies the operator over the frontier and returns the set of
+	// locally updated proxies.
+	Round(frontier *bitset.Bitset) (*bitset.Bitset, error)
+	// Sync synchronizes the program's fields through Gluon. On return,
+	// updated holds the next frontier (Gluon consumes shipped mirror bits
+	// and adds remotely-written proxies).
+	Sync(updated *bitset.Bitset) error
+	// Finalize reconciles final values onto all proxies (for output).
+	Finalize() error
+	// MasterValue reads the final value of a master proxy, as float64
+	// (integer labels convert exactly below 2^53).
+	MasterValue(lid uint32) float64
+}
+
+// ProgramFactory builds one host's Program over its partition and substrate.
+type ProgramFactory func(p *partition.Partition, g *gluon.Gluon) (Program, error)
+
+// HostResult carries one host's measurements for a run.
+type HostResult struct {
+	Host        int
+	Rounds      int
+	ComputeTime time.Duration
+	SyncTime    time.Duration // Gluon sync + termination detection
+	Gluon       gluon.Stats
+}
+
+// Result aggregates a distributed run.
+type Result struct {
+	Algorithm string
+	NumHosts  int
+	Rounds    int
+	// Time is the end-to-end wall time of the slowest host (excluding
+	// partitioning), the paper's execution-time metric.
+	Time time.Duration
+	// MaxCompute sums per-round maxima of compute time across hosts — the
+	// "Computation (max across hosts)" bar of Figure 10.
+	MaxCompute time.Duration
+	// TotalCommBytes is the global field-sync communication volume.
+	TotalCommBytes uint64
+	// RoundCompute[r] is the max-across-hosts compute time of round r (the
+	// per-round series behind MaxCompute, for figure-style traces).
+	RoundCompute []time.Duration
+	Hosts        []HostResult
+	// Values holds the converged labels indexed by global ID (collected
+	// from masters) when CollectValues was set.
+	Values []float64
+}
+
+// RunConfig configures a distributed run on the in-process transport.
+type RunConfig struct {
+	Hosts         int
+	Policy        partition.Kind
+	Opt           gluon.Options
+	PolicyOptions partition.Options
+	// CollectValues gathers converged per-node values into Result.Values.
+	CollectValues bool
+	// MaxRounds aborts runaway programs; 0 means no limit.
+	MaxRounds int
+	// Net adds simulated link costs to the in-process transport, making
+	// wall-clock time sensitive to communication volume as it is on real
+	// clusters. Zero value = instant delivery.
+	Net comm.NetModel
+}
+
+// Run partitions the graph, spins up one goroutine per host over an
+// in-process hub, runs the program to global quiescence, and aggregates
+// results. It is the all-in-one entry point used by tests, examples, and
+// the benchmark harness.
+//
+// When cfg.PolicyOptions carries no degree tables, Run derives them from
+// the edge list so that degree-balanced chunking and the HVC threshold work
+// out of the box.
+func Run(numNodes uint64, edges []graph.Edge, cfg RunConfig, factory ProgramFactory) (*Result, error) {
+	if cfg.PolicyOptions.OutDegrees == nil && cfg.PolicyOptions.InDegrees == nil {
+		outDeg := make([]uint32, numNodes)
+		inDeg := make([]uint32, numNodes)
+		for _, e := range edges {
+			outDeg[e.Src]++
+			inDeg[e.Dst]++
+		}
+		cfg.PolicyOptions.OutDegrees = outDeg
+		cfg.PolicyOptions.InDegrees = inDeg
+	}
+	pol, err := partition.NewPolicy(cfg.Policy, numNodes, cfg.Hosts, cfg.PolicyOptions)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := partition.PartitionAll(numNodes, edges, pol)
+	if err != nil {
+		return nil, err
+	}
+	return RunPartitioned(parts, cfg, factory)
+}
+
+// RunPartitioned runs over pre-built partitions (lets callers reuse a
+// partitioning across optimization configurations, as Figure 10 does).
+func RunPartitioned(parts []*partition.Partition, cfg RunConfig, factory ProgramFactory) (*Result, error) {
+	hub := comm.NewHubWithModel(len(parts), cfg.Net)
+	defer hub.Close()
+	return RunWithTransports(parts, hub.Endpoints(), cfg, factory)
+}
+
+// RunWithTransports runs over pre-built partitions and caller-supplied
+// transports — one per host, e.g. TCP endpoints for clusters of separate
+// processes (see examples/tcp-cluster).
+func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg RunConfig, factory ProgramFactory) (*Result, error) {
+	hosts := len(parts)
+	if len(ts) != hosts {
+		return nil, fmt.Errorf("dsys: %d partitions but %d transports", hosts, len(ts))
+	}
+	results := make([]*hostRun, hosts)
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			results[h], errs[h] = runHost(parts[h], ts[h], cfg, factory)
+		}(h)
+	}
+	wg.Wait()
+	for h, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dsys: host %d: %w", h, err)
+		}
+	}
+	return aggregate(parts, results, cfg)
+}
+
+// hostRun is one host's raw outcome.
+type hostRun struct {
+	res          HostResult
+	wall         time.Duration
+	perRoundComp []time.Duration
+	values       map[uint64]float64
+	name         string
+}
+
+// runHost is the per-host BSP driver.
+func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory ProgramFactory) (*hostRun, error) {
+	g, err := gluon.New(p, t, cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := factory(p, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := comm.Barrier(t); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	frontier, err := prog.Init()
+	if err != nil {
+		return nil, err
+	}
+	hr := &hostRun{name: prog.Name()}
+	round := 0
+	for {
+		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
+			break
+		}
+		compStart := time.Now()
+		updated, err := prog.Round(frontier)
+		if err != nil {
+			return nil, err
+		}
+		comp := time.Since(compStart)
+		hr.res.ComputeTime += comp
+		hr.perRoundComp = append(hr.perRoundComp, comp)
+
+		syncStart := time.Now()
+		if err := prog.Sync(updated); err != nil {
+			return nil, err
+		}
+		active := uint64(updated.Count())
+		global, err := g.AllReduceSum(active)
+		if err != nil {
+			return nil, err
+		}
+		hr.res.SyncTime += time.Since(syncStart)
+		round++
+		if global == 0 {
+			break
+		}
+		frontier = updated
+	}
+	if err := prog.Finalize(); err != nil {
+		return nil, err
+	}
+	hr.wall = time.Since(start)
+	hr.res.Rounds = round
+	hr.res.Gluon = g.Stats()
+	hr.res.Host = p.HostID
+
+	if cfg.CollectValues {
+		hr.values = make(map[uint64]float64, p.NumMasters)
+		for lid := uint32(0); lid < p.NumMasters; lid++ {
+			hr.values[p.GID(lid)] = prog.MasterValue(lid)
+		}
+	}
+	return hr, nil
+}
+
+// aggregate merges per-host outcomes into a Result.
+func aggregate(parts []*partition.Partition, runs []*hostRun, cfg RunConfig) (*Result, error) {
+	res := &Result{NumHosts: len(runs)}
+	if len(runs) == 0 {
+		return res, nil
+	}
+	res.Algorithm = runs[0].name
+	maxRounds := 0
+	for _, r := range runs {
+		if r.res.Rounds > maxRounds {
+			maxRounds = r.res.Rounds
+		}
+		if r.wall > res.Time {
+			res.Time = r.wall
+		}
+		res.TotalCommBytes += r.res.Gluon.BytesSent()
+		res.Hosts = append(res.Hosts, r.res)
+	}
+	res.Rounds = maxRounds
+	// Per-round max across hosts, summed: the paper's max-compute metric.
+	res.RoundCompute = make([]time.Duration, maxRounds)
+	for round := 0; round < maxRounds; round++ {
+		var m time.Duration
+		for _, r := range runs {
+			if round < len(r.perRoundComp) && r.perRoundComp[round] > m {
+				m = r.perRoundComp[round]
+			}
+		}
+		res.RoundCompute[round] = m
+		res.MaxCompute += m
+	}
+	if cfg.CollectValues {
+		res.Values = make([]float64, parts[0].GlobalNodes)
+		for _, r := range runs {
+			for gid, v := range r.values {
+				res.Values[gid] = v
+			}
+		}
+	}
+	return res, nil
+}
+
+// LoadImbalance returns max/mean of per-host compute time, the §5.4
+// imbalance estimate.
+func (r *Result) LoadImbalance() float64 {
+	if len(r.Hosts) == 0 {
+		return 1
+	}
+	var max, sum time.Duration
+	for _, h := range r.Hosts {
+		if h.ComputeTime > max {
+			max = h.ComputeTime
+		}
+		sum += h.ComputeTime
+	}
+	mean := sum / time.Duration(len(r.Hosts))
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / float64(mean)
+}

@@ -1,0 +1,80 @@
+package dsys_test
+
+import (
+	"math"
+	"testing"
+
+	"gluon/internal/algorithms/bfs"
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/dsys"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+// TestHeterogeneousEngines: the Figure 1 scenario — different engines on
+// different hosts, coupled by the same substrate, must agree with the
+// sequential reference. Gluon is engine-agnostic: only byte payloads cross
+// hosts.
+func TestHeterogeneousEngines(t *testing.T) {
+	numNodes, edges, g := testGraph(t, 9, false)
+	source := g.MaxOutDegreeNode()
+	want := ref.BFS(g, source)
+
+	ligraF := bfs.NewLigra(uint64(source), 2)
+	galoisF := bfs.NewGalois(uint64(source), 2)
+	irglF := bfs.NewIrGL(uint64(source), 2)
+	mixed := func(p *partition.Partition, gl *gluon.Gluon) (dsys.Program, error) {
+		switch p.HostID % 3 {
+		case 0:
+			return ligraF(p, gl)
+		case 1:
+			return galoisF(p, gl)
+		default:
+			return irglF(p, gl)
+		}
+	}
+	for _, pol := range partition.AllKinds() {
+		res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+			Hosts: 6, Policy: pol, Opt: gluon.Opt(),
+			PolicyOptions: policyOptions(numNodes, g), CollectValues: true,
+		}, mixed)
+		if err != nil {
+			t.Fatalf("%s: %v", pol, err)
+		}
+		for i, w := range want {
+			if float64(w) != res.Values[i] {
+				t.Fatalf("%s: node %d = %v, want %d", pol, i, res.Values[i], w)
+			}
+		}
+	}
+}
+
+// TestHeterogeneousPR: mixed engines also agree on an iterative float
+// algorithm (pull pagerank runs synchronously regardless of engine, so
+// values match the reference exactly to tolerance).
+func TestHeterogeneousPR(t *testing.T) {
+	numNodes, edges, g := testGraph(t, 9, false)
+	want := ref.PageRank(g, pr.Alpha, 1e-9, 100)
+
+	ligraF := pr.NewLigra(1e-9, 2)
+	irglF := pr.NewIrGL(1e-9, 2)
+	mixed := func(p *partition.Partition, gl *gluon.Gluon) (dsys.Program, error) {
+		if p.HostID%2 == 0 {
+			return ligraF(p, gl)
+		}
+		return irglF(p, gl)
+	}
+	res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+		Hosts: 4, Policy: partition.CVC, Opt: gluon.Opt(),
+		PolicyOptions: policyOptions(numNodes, g), CollectValues: true, MaxRounds: 100,
+	}, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if math.Abs(res.Values[i]-w) > 1e-6 {
+			t.Fatalf("node %d: %g, want %g", i, res.Values[i], w)
+		}
+	}
+}

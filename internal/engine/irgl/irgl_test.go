@@ -1,0 +1,145 @@
+package irgl
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"gluon/internal/bitset"
+	"gluon/internal/fields"
+	"gluon/internal/generate"
+	"gluon/internal/graph"
+	"gluon/internal/ref"
+)
+
+func rmatCSR(t testing.TB) *graph.CSR {
+	t.Helper()
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 55}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestKernelVisitsAllNodes(t *testing.T) {
+	g := rmatCSR(t)
+	d := New(g, 4)
+	var visits atomic.Uint64
+	d.Kernel(func(u uint32) { visits.Add(1) })
+	if visits.Load() != uint64(g.NumNodes()) {
+		t.Fatalf("visits %d, nodes %d", visits.Load(), g.NumNodes())
+	}
+	if d.Stats().KernelLaunches != 1 {
+		t.Fatalf("launches %d", d.Stats().KernelLaunches)
+	}
+}
+
+func TestKernelMasked(t *testing.T) {
+	g := rmatCSR(t)
+	d := New(g, 4)
+	active := bitset.New(g.NumNodes())
+	active.Set(0)
+	active.Set(100)
+	var visits atomic.Uint64
+	d.KernelMasked(active, func(u uint32) {
+		if u != 0 && u != 100 {
+			t.Errorf("visited inactive node %d", u)
+		}
+		visits.Add(1)
+	})
+	if visits.Load() != 2 {
+		t.Fatalf("visits %d", visits.Load())
+	}
+}
+
+// TestLevelSyncBFS: repeated masked kernels implement level-by-level BFS.
+func TestLevelSyncBFS(t *testing.T) {
+	g := rmatCSR(t)
+	source := g.MaxOutDegreeNode()
+	want := ref.BFS(g, source)
+
+	d := New(g, 4)
+	buf := NewBuffer[uint32](d, g.NumNodes())
+	dist := buf.Data()
+	for i := range dist {
+		dist[i] = fields.InfinityU32
+	}
+	dist[source] = 0
+	frontier := bitset.New(g.NumNodes())
+	frontier.Set(source)
+	for frontier.Any() {
+		next := bitset.New(g.NumNodes())
+		d.KernelMasked(frontier, func(u uint32) {
+			du := fields.AtomicLoadU32(&dist[u])
+			for _, v := range g.Neighbors(u) {
+				if fields.AtomicMinU32(&dist[v], du+1) {
+					next.Set(v)
+				}
+			}
+		})
+		frontier = next
+	}
+	for u := range want {
+		if dist[u] != want[u] {
+			t.Fatalf("node %d: %d, want %d", u, dist[u], want[u])
+		}
+	}
+}
+
+func TestBufferBulkTransfersAccounted(t *testing.T) {
+	g := rmatCSR(t)
+	d := New(g, 2)
+	buf := NewBuffer[uint32](d, 100)
+	if buf.Len() != 100 {
+		t.Fatalf("len %d", buf.Len())
+	}
+	lids := []uint32{1, 5, 9}
+	buf.BulkScatter(lids, []uint32{10, 50, 90})
+	st := d.Stats()
+	if st.BytesToDevice != 12 {
+		t.Fatalf("to-device %d, want 12", st.BytesToDevice)
+	}
+	out := buf.BulkGather(lids, make([]uint32, 3))
+	if out[0] != 10 || out[1] != 50 || out[2] != 90 {
+		t.Fatalf("gathered %v", out)
+	}
+	st = d.Stats()
+	if st.BytesFromDevice != 12 {
+		t.Fatalf("from-device %d, want 12", st.BytesFromDevice)
+	}
+}
+
+func TestBufferSingleElementOps(t *testing.T) {
+	d := New(rmatCSR(t), 1)
+	buf := NewBuffer[float64](d, 10)
+	buf.Set(3, 2.5)
+	if got := buf.Get(3); got != 2.5 {
+		t.Fatalf("Get = %v", got)
+	}
+	st := d.Stats()
+	if st.BytesToDevice != 8 || st.BytesFromDevice != 8 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func BenchmarkKernel(b *testing.B) {
+	cfg := generate.Config{Kind: "rmat", Scale: 13, EdgeFactor: 8, Seed: 55}
+	edges, _ := generate.Edges(cfg)
+	g, _ := graph.FromEdges(cfg.NumNodes(), edges, false)
+	d := New(g, 4)
+	val := NewBuffer[uint32](d, g.NumNodes()).Data()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Kernel(func(u uint32) {
+			var acc uint32
+			for _, v := range g.Neighbors(u) {
+				acc += v
+			}
+			val[u] = acc
+		})
+	}
+}

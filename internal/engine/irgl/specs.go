@@ -1,0 +1,103 @@
+package irgl
+
+// Gluon synchronization structures over device Buffers. They satisfy the
+// substrate's ReduceSpec/BroadcastSpec interfaces structurally and
+// additionally provide the bulk extract variant (§3.3 "bulk-variants for
+// GPUs"), so a whole memoized order crosses the simulated device boundary
+// in one accounted staging copy instead of per-node callbacks.
+//
+// Scatter-side operations (Reduce, Set, Reset) are accounted as host→device
+// traffic per element, modeling the staging buffer a GPU plugin scatters
+// after receiving a message.
+
+// MinU32Buf is the min-reduce structure over a uint32 device buffer
+// (bfs levels, sssp distances, cc labels).
+type MinU32Buf struct{ B *Buffer[uint32] }
+
+// Extract reads one element (accounted single-element transfer).
+func (m MinU32Buf) Extract(lid uint32) uint32 { return m.B.Get(lid) }
+
+// ExtractBulk stages one device→host copy of the given order.
+func (m MinU32Buf) ExtractBulk(lids []uint32, dst []uint32) []uint32 {
+	return m.B.BulkGather(lids, dst)
+}
+
+// Reduce folds v into the device element with a min.
+func (m MinU32Buf) Reduce(lid uint32, v uint32) bool {
+	m.B.dev.bytesToDevice.Add(4)
+	if v < m.B.data[lid] {
+		m.B.data[lid] = v
+		return true
+	}
+	return false
+}
+
+// Reset is a no-op: min is idempotent, mirrors keep their labels.
+func (m MinU32Buf) Reset(lid uint32) {}
+
+// SetU32Buf is the broadcast structure over a uint32 device buffer.
+type SetU32Buf struct{ B *Buffer[uint32] }
+
+// Extract reads one element.
+func (s SetU32Buf) Extract(lid uint32) uint32 { return s.B.Get(lid) }
+
+// ExtractBulk stages one device→host copy.
+func (s SetU32Buf) ExtractBulk(lids []uint32, dst []uint32) []uint32 {
+	return s.B.BulkGather(lids, dst)
+}
+
+// Set overwrites the device element, reporting change.
+func (s SetU32Buf) Set(lid uint32, v uint32) bool {
+	s.B.dev.bytesToDevice.Add(4)
+	if s.B.data[lid] == v {
+		return false
+	}
+	s.B.data[lid] = v
+	return true
+}
+
+// SumF64Buf is the add-reduce structure over a float64 device buffer
+// (pagerank contributions).
+type SumF64Buf struct{ B *Buffer[float64] }
+
+// Extract reads one element.
+func (a SumF64Buf) Extract(lid uint32) float64 { return a.B.Get(lid) }
+
+// ExtractBulk stages one device→host copy.
+func (a SumF64Buf) ExtractBulk(lids []uint32, dst []float64) []float64 {
+	return a.B.BulkGather(lids, dst)
+}
+
+// Reduce adds v into the device element.
+func (a SumF64Buf) Reduce(lid uint32, v float64) bool {
+	a.B.dev.bytesToDevice.Add(8)
+	if v == 0 {
+		return false
+	}
+	a.B.data[lid] += v
+	return true
+}
+
+// Reset zeroes the device element.
+func (a SumF64Buf) Reset(lid uint32) { a.B.data[lid] = 0 }
+
+// SetF64Buf is the broadcast structure over a float64 device buffer.
+type SetF64Buf struct{ B *Buffer[float64] }
+
+// Extract reads one element.
+func (s SetF64Buf) Extract(lid uint32) float64 { return s.B.Get(lid) }
+
+// ExtractBulk stages one device→host copy.
+func (s SetF64Buf) ExtractBulk(lids []uint32, dst []float64) []float64 {
+	return s.B.BulkGather(lids, dst)
+}
+
+// Set overwrites the device element.
+func (s SetF64Buf) Set(lid uint32, v float64) bool {
+	s.B.dev.bytesToDevice.Add(8)
+	if s.B.data[lid] == v {
+		return false
+	}
+	s.B.data[lid] = v
+	return true
+}

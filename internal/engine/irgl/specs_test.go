@@ -1,0 +1,177 @@
+package irgl_test
+
+import (
+	"sync"
+	"testing"
+
+	"gluon/internal/algorithms/bfs"
+	"gluon/internal/bitset"
+	"gluon/internal/comm"
+	"gluon/internal/dsys"
+	"gluon/internal/engine/irgl"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+	"gluon/internal/ref"
+)
+
+func TestBufferSpecsSatisfyGluonInterfaces(t *testing.T) {
+	g := graph.Build(4, []graph.LocalEdge{{Src: 0, Dst: 1}}, false)
+	d := irgl.New(g, 1)
+	u32 := irgl.NewBuffer[uint32](d, 4)
+	f64 := irgl.NewBuffer[float64](d, 4)
+	var _ gluon.ReduceSpec[uint32] = irgl.MinU32Buf{B: u32}
+	var _ gluon.BroadcastSpec[uint32] = irgl.SetU32Buf{B: u32}
+	var _ gluon.BulkExtractor[uint32] = irgl.MinU32Buf{B: u32}
+	var _ gluon.ReduceSpec[float64] = irgl.SumF64Buf{B: f64}
+	var _ gluon.BroadcastSpec[float64] = irgl.SetF64Buf{B: f64}
+	var _ gluon.BulkExtractor[float64] = irgl.SetF64Buf{B: f64}
+}
+
+func TestBufferSpecSemantics(t *testing.T) {
+	g := graph.Build(4, []graph.LocalEdge{{Src: 0, Dst: 1}}, false)
+	d := irgl.New(g, 1)
+	buf := irgl.NewBuffer[uint32](d, 4)
+	for i := uint32(0); i < 4; i++ {
+		buf.Data()[i] = 100
+	}
+	min := irgl.MinU32Buf{B: buf}
+	if !min.Reduce(1, 50) || buf.Data()[1] != 50 {
+		t.Fatal("reduce lower")
+	}
+	if min.Reduce(1, 60) {
+		t.Fatal("reduce higher changed")
+	}
+	min.Reset(1)
+	if buf.Data()[1] != 50 {
+		t.Fatal("min reset must keep value")
+	}
+	set := irgl.SetU32Buf{B: buf}
+	if !set.Set(2, 5) || set.Set(2, 5) {
+		t.Fatal("set semantics")
+	}
+	out := min.ExtractBulk([]uint32{0, 1}, make([]uint32, 2))
+	if out[0] != 100 || out[1] != 50 {
+		t.Fatalf("bulk extract %v", out)
+	}
+
+	fbuf := irgl.NewBuffer[float64](d, 4)
+	sum := irgl.SumF64Buf{B: fbuf}
+	if sum.Reduce(0, 0) {
+		t.Fatal("sum of zero changed")
+	}
+	sum.Reduce(0, 1.5)
+	sum.Reduce(0, 2.5)
+	if fbuf.Data()[0] != 4.0 {
+		t.Fatal("sum")
+	}
+	sum.Reset(0)
+	if fbuf.Data()[0] != 0 {
+		t.Fatal("sum reset must zero")
+	}
+}
+
+// TestDeviceTransfersAccountedDuringSync: a real distributed run with the
+// device engine must register host/device traffic via the bulk path.
+func TestDeviceTransfersAccountedDuringSync(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 23}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := g.MaxOutDegreeNode()
+	want := ref.BFS(g, source)
+	res, err := dsys.Run(cfg.NumNodes(), edges, dsys.RunConfig{
+		Hosts: 4, Policy: partition.CVC, Opt: gluon.Opt(), CollectValues: true,
+	}, bfs.NewIrGL(uint64(source), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range want {
+		if float64(w) != res.Values[i] {
+			t.Fatalf("node %d wrong", i)
+		}
+	}
+	// Transfer counters are internal to each program's Device; correctness
+	// of the run plus nonzero comm implies the bulk path executed. The
+	// direct accounting check lives below with a hand-driven sync.
+	if res.TotalCommBytes == 0 {
+		t.Fatal("no communication")
+	}
+}
+
+// TestBulkExtractUsedBySync: hand-drive one sync over device buffers and
+// confirm device→host bytes were counted (the bulk gather ran).
+func TestBulkExtractUsedBySync(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 2}, {Src: 2, Dst: 1}, {Src: 1, Dst: 3}, {Src: 3, Dst: 0}}
+	pol, err := partition.NewPolicy(partition.OEC, 4, 2, partition.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.PartitionAll(4, edges, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := comm.NewHub(2)
+	defer hub.Close()
+
+	type host struct {
+		g   *gluon.Gluon
+		dev *irgl.Device
+		buf *irgl.Buffer[uint32]
+	}
+	hosts := make([]host, 2)
+	var wg sync.WaitGroup
+	for h := 0; h < 2; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			gl, err := gluon.New(parts[h], hub.Endpoint(h), gluon.Opt())
+			if err != nil {
+				panic(err)
+			}
+			dev := irgl.New(parts[h].Graph, 1)
+			buf := irgl.NewBuffer[uint32](dev, parts[h].NumProxies())
+			for i := range buf.Data() {
+				buf.Data()[i] = 1000
+			}
+			hosts[h] = host{g: gl, dev: dev, buf: buf}
+		}(h)
+	}
+	wg.Wait()
+
+	for h := 0; h < 2; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			field := gluon.Field[uint32]{
+				ID: 31, Name: "dev", Write: gluon.AtDestination, Read: gluon.AtSource,
+				Reduce:    irgl.MinU32Buf{B: hosts[h].buf},
+				Broadcast: irgl.SetU32Buf{B: hosts[h].buf},
+			}
+			upd := bitset.New(parts[h].NumProxies())
+			// Mark every mirror updated so every host ships something.
+			for lid := parts[h].NumMasters; lid < parts[h].NumProxies(); lid++ {
+				hosts[h].buf.Data()[lid] = uint32(h + 1)
+				upd.SetUnsync(lid)
+			}
+			if err := gluon.Sync(hosts[h].g, field, upd); err != nil {
+				panic(err)
+			}
+		}(h)
+	}
+	wg.Wait()
+
+	var fromDev uint64
+	for h := range hosts {
+		fromDev += hosts[h].dev.Stats().BytesFromDevice
+	}
+	if fromDev == 0 {
+		t.Fatal("no device→host staging recorded; bulk extract not used")
+	}
+}

@@ -1,0 +1,199 @@
+// Package fields provides the label-array primitives shared by the vertex
+// programs: atomic update helpers for engine-side operators and ready-made
+// Gluon reduce/broadcast synchronization structures over label slices
+// (the Figure 5 structs of the paper, written once instead of per
+// application).
+package fields
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// InfinityU32 is the "unreached" label for distance-style fields.
+const InfinityU32 = math.MaxUint32
+
+// AtomicMinU32 lowers *p to v if v is smaller, returning whether it changed.
+func AtomicMinU32(p *uint32, v uint32) bool {
+	for {
+		old := atomic.LoadUint32(p)
+		if v >= old {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(p, old, v) {
+			return true
+		}
+	}
+}
+
+// AtomicLoadU32 reads *p atomically.
+func AtomicLoadU32(p *uint32) uint32 { return atomic.LoadUint32(p) }
+
+// AtomicStoreU32 writes *p atomically. Single-writer loops use it so that
+// concurrent readers in the same parallel pass see a well-defined value.
+func AtomicStoreU32(p *uint32, v uint32) { atomic.StoreUint32(p, v) }
+
+// AtomicAddU64 adds v to *p and returns the new value.
+func AtomicAddU64(p *uint64, v uint64) uint64 { return atomic.AddUint64(p, v) }
+
+// AtomicAddF64Bits adds v to the float64 stored as IEEE-754 bits in *p
+// (CAS loop). Push-style operators use bit-typed float fields so that
+// concurrent accumulation needs no locks.
+func AtomicAddF64Bits(p *uint64, v float64) {
+	for {
+		old := atomic.LoadUint64(p)
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if atomic.CompareAndSwapUint64(p, old, next) {
+			return
+		}
+	}
+}
+
+// AtomicSwapF64Bits atomically replaces the float64 bits in *p and returns
+// the previous value (used to consume a residual exactly once).
+func AtomicSwapF64Bits(p *uint64, v float64) float64 {
+	return math.Float64frombits(atomic.SwapUint64(p, math.Float64bits(v)))
+}
+
+// LoadF64Bits reads the float64 stored as bits in *p.
+func LoadF64Bits(p *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(p))
+}
+
+// SumF64Bits is a Gluon reduce structure over a bit-typed float64 slice
+// (push-style pagerank residuals): add-combined, reset to 0.
+type SumF64Bits struct{ Bits []uint64 }
+
+// Extract returns the value at lid.
+func (a SumF64Bits) Extract(lid uint32) float64 { return LoadF64Bits(&a.Bits[lid]) }
+
+// Reduce adds v into lid's value.
+func (a SumF64Bits) Reduce(lid uint32, v float64) bool {
+	if v == 0 {
+		return false
+	}
+	AtomicAddF64Bits(&a.Bits[lid], v)
+	return true
+}
+
+// Reset zeroes lid's value.
+func (a SumF64Bits) Reset(lid uint32) { atomic.StoreUint64(&a.Bits[lid], 0) }
+
+// SetF64Bits is the broadcast structure over a bit-typed float64 slice.
+type SetF64Bits struct{ Bits []uint64 }
+
+// Extract returns the value at lid.
+func (s SetF64Bits) Extract(lid uint32) float64 { return LoadF64Bits(&s.Bits[lid]) }
+
+// Set overwrites lid's value, reporting change.
+func (s SetF64Bits) Set(lid uint32, v float64) bool {
+	old := atomic.SwapUint64(&s.Bits[lid], math.Float64bits(v))
+	return math.Float64frombits(old) != v
+}
+
+// MinU32 is a Gluon reduce structure for a min-combined uint32 label slice
+// (bfs levels, sssp distances, cc component labels). Reset keeps the label:
+// for an idempotent min reduction, a mirror's current label is already
+// incorporated at the master, so re-sending it is a no-op — exactly the
+// paper's sssp example where "keeping labels of mirror nodes unchanged is
+// sufficient".
+type MinU32 struct{ Labels []uint32 }
+
+// Extract returns the label of lid.
+func (m MinU32) Extract(lid uint32) uint32 { return m.Labels[lid] }
+
+// Reduce lowers lid's label to v if smaller.
+func (m MinU32) Reduce(lid uint32, v uint32) bool {
+	if v < m.Labels[lid] {
+		m.Labels[lid] = v
+		return true
+	}
+	return false
+}
+
+// Reset is a no-op (min is idempotent).
+func (m MinU32) Reset(lid uint32) {}
+
+// SetU32 is the matching Gluon broadcast structure for a uint32 label slice.
+type SetU32 struct{ Labels []uint32 }
+
+// Extract returns the label of lid.
+func (s SetU32) Extract(lid uint32) uint32 { return s.Labels[lid] }
+
+// Set overwrites lid's label, reporting whether it changed.
+func (s SetU32) Set(lid uint32, v uint32) bool {
+	if s.Labels[lid] == v {
+		return false
+	}
+	s.Labels[lid] = v
+	return true
+}
+
+// SumF64 is a Gluon reduce structure for an additively-combined float64
+// slice (pagerank contributions). Reset returns mirrors to the additive
+// identity 0, the paper's push-style pagerank example.
+type SumF64 struct{ Vals []float64 }
+
+// Extract returns the partial value at lid.
+func (a SumF64) Extract(lid uint32) float64 { return a.Vals[lid] }
+
+// Reduce adds v into lid's value.
+func (a SumF64) Reduce(lid uint32, v float64) bool {
+	if v == 0 {
+		return false
+	}
+	a.Vals[lid] += v
+	return true
+}
+
+// Reset zeroes lid's value (the + identity).
+func (a SumF64) Reset(lid uint32) { a.Vals[lid] = 0 }
+
+// SetF64 is the broadcast structure for a float64 slice.
+type SetF64 struct{ Vals []float64 }
+
+// Extract returns the value at lid.
+func (s SetF64) Extract(lid uint32) float64 { return s.Vals[lid] }
+
+// Set overwrites lid's value, reporting whether it changed.
+func (s SetF64) Set(lid uint32, v float64) bool {
+	if s.Vals[lid] == v {
+		return false
+	}
+	s.Vals[lid] = v
+	return true
+}
+
+// SumU64 is a reduce structure for additively-combined uint64 fields
+// (global out-degree accumulation for pull pagerank).
+type SumU64 struct{ Vals []uint64 }
+
+// Extract returns the partial value at lid.
+func (a SumU64) Extract(lid uint32) uint64 { return a.Vals[lid] }
+
+// Reduce adds v into lid's value.
+func (a SumU64) Reduce(lid uint32, v uint64) bool {
+	if v == 0 {
+		return false
+	}
+	a.Vals[lid] += v
+	return true
+}
+
+// Reset zeroes lid's value.
+func (a SumU64) Reset(lid uint32) { a.Vals[lid] = 0 }
+
+// SetU64 is the broadcast structure for a uint64 slice.
+type SetU64 struct{ Vals []uint64 }
+
+// Extract returns the value at lid.
+func (s SetU64) Extract(lid uint32) uint64 { return s.Vals[lid] }
+
+// Set overwrites lid's value, reporting whether it changed.
+func (s SetU64) Set(lid uint32, v uint64) bool {
+	if s.Vals[lid] == v {
+		return false
+	}
+	s.Vals[lid] = v
+	return true
+}

@@ -1,0 +1,86 @@
+package fields
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicAddF64Bits(t *testing.T) {
+	var bits uint64
+	AtomicAddF64Bits(&bits, 1.5)
+	AtomicAddF64Bits(&bits, 2.25)
+	if got := LoadF64Bits(&bits); got != 3.75 {
+		t.Fatalf("sum %v", got)
+	}
+}
+
+// TestAtomicAddF64BitsConcurrent: concurrent adds never lose mass.
+func TestAtomicAddF64BitsConcurrent(t *testing.T) {
+	var bits uint64
+	var wg sync.WaitGroup
+	const workers, adds = 8, 10000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				AtomicAddF64Bits(&bits, 0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := LoadF64Bits(&bits); got != workers*adds*0.5 {
+		t.Fatalf("sum %v, want %v", got, workers*adds*0.5)
+	}
+}
+
+func TestAtomicSwapF64Bits(t *testing.T) {
+	bits := math.Float64bits(7.5)
+	old := AtomicSwapF64Bits(&bits, 0)
+	if old != 7.5 || LoadF64Bits(&bits) != 0 {
+		t.Fatalf("swap: old %v, now %v", old, LoadF64Bits(&bits))
+	}
+}
+
+func TestSumF64BitsSpec(t *testing.T) {
+	bits := make([]uint64, 2)
+	a := SumF64Bits{Bits: bits}
+	if a.Reduce(0, 0) {
+		t.Fatal("zero add reported change")
+	}
+	if !a.Reduce(0, 2.5) || a.Extract(0) != 2.5 {
+		t.Fatal("reduce/extract")
+	}
+	a.Reset(0)
+	if a.Extract(0) != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestSetF64BitsSpec(t *testing.T) {
+	bits := make([]uint64, 1)
+	s := SetF64Bits{Bits: bits}
+	if !s.Set(0, 1.25) || s.Extract(0) != 1.25 {
+		t.Fatal("set/extract")
+	}
+	if s.Set(0, 1.25) {
+		t.Fatal("idempotent set reported change")
+	}
+}
+
+// TestQuickBitsRoundTrip: any float survives the bits representation.
+func TestQuickBitsRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true // NaN != NaN; representation still exact
+		}
+		var bits uint64
+		AtomicAddF64Bits(&bits, v)
+		return LoadF64Bits(&bits) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

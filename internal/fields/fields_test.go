@@ -1,0 +1,162 @@
+package fields
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicMinU32(t *testing.T) {
+	v := uint32(10)
+	if !AtomicMinU32(&v, 5) || v != 5 {
+		t.Fatalf("min lower: %d", v)
+	}
+	if AtomicMinU32(&v, 5) {
+		t.Fatal("min equal reported change")
+	}
+	if AtomicMinU32(&v, 7) || v != 5 {
+		t.Fatalf("min higher changed value: %d", v)
+	}
+}
+
+// TestAtomicMinU32Concurrent: under contention, the final value is the
+// global minimum and exactly one goroutine observes each lowering.
+func TestAtomicMinU32Concurrent(t *testing.T) {
+	v := uint32(1 << 30)
+	var changes int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := 0
+			for i := 0; i < 1000; i++ {
+				if AtomicMinU32(&v, uint32(1000-i+w)) {
+					local++
+				}
+			}
+			mu.Lock()
+			changes += int64(local)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	if v != 1 {
+		t.Fatalf("final %d, want 1", v)
+	}
+	if changes < 1 || changes > 8*1000 {
+		t.Fatalf("changes %d", changes)
+	}
+}
+
+func TestMinU32Spec(t *testing.T) {
+	labels := []uint32{5, 10}
+	m := MinU32{Labels: labels}
+	if m.Extract(0) != 5 {
+		t.Fatal("extract")
+	}
+	if !m.Reduce(1, 3) || labels[1] != 3 {
+		t.Fatal("reduce lower")
+	}
+	if m.Reduce(1, 9) || labels[1] != 3 {
+		t.Fatal("reduce higher")
+	}
+	m.Reset(0)
+	if labels[0] != 5 {
+		t.Fatal("reset must keep label for min")
+	}
+}
+
+func TestSetU32Spec(t *testing.T) {
+	labels := []uint32{1}
+	s := SetU32{Labels: labels}
+	if s.Set(0, 1) {
+		t.Fatal("set same value reported change")
+	}
+	if !s.Set(0, 2) || labels[0] != 2 {
+		t.Fatal("set new value")
+	}
+	if s.Extract(0) != 2 {
+		t.Fatal("extract")
+	}
+}
+
+func TestSumF64Spec(t *testing.T) {
+	vals := []float64{1.5}
+	a := SumF64{Vals: vals}
+	if a.Reduce(0, 0) {
+		t.Fatal("adding zero reported change")
+	}
+	if !a.Reduce(0, 2.5) || vals[0] != 4.0 {
+		t.Fatalf("reduce add: %v", vals[0])
+	}
+	a.Reset(0)
+	if vals[0] != 0 {
+		t.Fatal("reset must zero for sum")
+	}
+	if a.Extract(0) != 0 {
+		t.Fatal("extract")
+	}
+}
+
+func TestSumU64AndSetU64(t *testing.T) {
+	vals := []uint64{7}
+	a := SumU64{Vals: vals}
+	if !a.Reduce(0, 3) || vals[0] != 10 {
+		t.Fatal("sum")
+	}
+	a.Reset(0)
+	if vals[0] != 0 {
+		t.Fatal("reset")
+	}
+	s := SetU64{Vals: vals}
+	if !s.Set(0, 9) || s.Extract(0) != 9 {
+		t.Fatal("set/extract")
+	}
+	if s.Set(0, 9) {
+		t.Fatal("idempotent set reported change")
+	}
+}
+
+func TestSetF64Spec(t *testing.T) {
+	vals := []float64{0}
+	s := SetF64{Vals: vals}
+	if !s.Set(0, 1.25) || s.Extract(0) != 1.25 {
+		t.Fatal("set/extract")
+	}
+	if s.Set(0, 1.25) {
+		t.Fatal("idempotent set reported change")
+	}
+}
+
+// TestQuickMinReduceIdempotent: reducing any sequence twice gives the same
+// result as once (the property Gluon's dense mode depends on).
+func TestQuickMinReduceIdempotent(t *testing.T) {
+	f := func(vals []uint32) bool {
+		a := []uint32{InfinityU32}
+		b := []uint32{InfinityU32}
+		ma, mb := MinU32{Labels: a}, MinU32{Labels: b}
+		for _, v := range vals {
+			ma.Reduce(0, v)
+			mb.Reduce(0, v)
+			mb.Reduce(0, v) // duplicate delivery
+		}
+		return a[0] == b[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicStoreLoad(t *testing.T) {
+	v := uint32(0)
+	AtomicStoreU32(&v, 42)
+	if AtomicLoadU32(&v) != 42 {
+		t.Fatal("store/load")
+	}
+	u := uint64(1)
+	if AtomicAddU64(&u, 2) != 3 {
+		t.Fatal("add")
+	}
+}

@@ -1,0 +1,255 @@
+// Package gio reads and writes graphs in two on-disk formats:
+//
+//   - a text edge list: one "src dst [weight]" per line, '#' comments, the
+//     lingua franca of SNAP-style datasets; and
+//   - a binary format modeled on Galois' .gr files: a fixed little-endian
+//     header (magic, version, flags, node and edge counts) followed by the
+//     CSR offset, destination, and optional weight arrays.
+//
+// The binary format is what the distributed loaders use; the paper's Table 2
+// measures loading+partitioning+construction time, which cmd/gluon-bench
+// reproduces over these readers.
+package gio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"gluon/internal/graph"
+)
+
+// Magic identifies the binary graph format ("GLGR" little-endian).
+const Magic uint32 = 0x52474c47
+
+// Version of the binary format.
+const Version uint32 = 1
+
+const flagWeighted uint32 = 1
+
+// WriteEdgeList writes edges as "src dst [weight]" lines.
+func WriteEdgeList(w io.Writer, edges []graph.Edge, weighted bool) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		var err error
+		if weighted {
+			_, err = fmt.Fprintf(bw, "%d %d %d\n", e.Src, e.Dst, e.Weight)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d\n", e.Src, e.Dst)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a text edge list. Lines starting with '#' or '%' are
+// comments; fields are whitespace-separated. The third field, when present,
+// is the edge weight. It returns the edges and the implied node count
+// (max ID + 1).
+func ReadEdgeList(r io.Reader) ([]graph.Edge, uint64, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	var maxID uint64
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '%' {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, 0, fmt.Errorf("gio: line %d: want at least 2 fields, got %q", lineNo, line)
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gio: line %d: bad src: %v", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return nil, 0, fmt.Errorf("gio: line %d: bad dst: %v", lineNo, err)
+		}
+		e := graph.Edge{Src: src, Dst: dst}
+		if len(fields) >= 3 {
+			w, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, 0, fmt.Errorf("gio: line %d: bad weight: %v", lineNo, err)
+			}
+			e.Weight = uint32(w)
+		}
+		if src > maxID {
+			maxID = src
+		}
+		if dst > maxID {
+			maxID = dst
+		}
+		edges = append(edges, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	n := uint64(0)
+	if len(edges) > 0 {
+		n = maxID + 1
+	}
+	return edges, n, nil
+}
+
+// WriteBinary writes g in the binary CSR format.
+func WriteBinary(w io.Writer, g *graph.CSR) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	flags := uint32(0)
+	if g.HasWeights {
+		flags |= flagWeighted
+	}
+	hdr := []uint32{Magic, Version, flags}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(g.NumNodes())); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.NumEdges()); err != nil {
+		return err
+	}
+	if err := writeUint64s(bw, g.Offsets); err != nil {
+		return err
+	}
+	if err := writeUint32s(bw, g.Dst); err != nil {
+		return err
+	}
+	if g.HasWeights {
+		if err := writeUint32s(bw, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*graph.CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic, version, flags uint32
+	for _, p := range []*uint32{&magic, &version, &flags} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, fmt.Errorf("gio: reading header: %w", err)
+		}
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("gio: bad magic %#x", magic)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("gio: unsupported version %d", version)
+	}
+	var numNodes, numEdges uint64
+	if err := binary.Read(br, binary.LittleEndian, &numNodes); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, &numEdges); err != nil {
+		return nil, err
+	}
+	if numNodes > 1<<32-1 {
+		return nil, fmt.Errorf("gio: %d nodes exceeds local ID space", numNodes)
+	}
+	g := &graph.CSR{
+		Offsets:    make([]uint64, numNodes+1),
+		Dst:        make([]uint32, numEdges),
+		HasWeights: flags&flagWeighted != 0,
+	}
+	if err := readUint64s(br, g.Offsets); err != nil {
+		return nil, err
+	}
+	if err := readUint32s(br, g.Dst); err != nil {
+		return nil, err
+	}
+	if g.HasWeights {
+		g.Weights = make([]uint32, numEdges)
+		if err := readUint32s(br, g.Weights); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("gio: corrupt graph: %w", err)
+	}
+	return g, nil
+}
+
+func writeUint64s(w io.Writer, vals []uint64) error {
+	buf := make([]byte, 8*4096)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > 4096 {
+			n = 4096
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], vals[i])
+		}
+		if _, err := w.Write(buf[:n*8]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeUint32s(w io.Writer, vals []uint32) error {
+	buf := make([]byte, 4*8192)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > 8192 {
+			n = 8192
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], vals[i])
+		}
+		if _, err := w.Write(buf[:n*4]); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func readUint64s(r io.Reader, dst []uint64) error {
+	buf := make([]byte, 8*4096)
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > 4096 {
+			n = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		}
+		dst = dst[n:]
+	}
+	return nil
+}
+
+func readUint32s(r io.Reader, dst []uint32) error {
+	buf := make([]byte, 4*8192)
+	for len(dst) > 0 {
+		n := len(dst)
+		if n > 8192 {
+			n = 8192
+		}
+		if _, err := io.ReadFull(r, buf[:n*4]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = binary.LittleEndian.Uint32(buf[i*4:])
+		}
+		dst = dst[n:]
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package gluon
+
+// Optional message compression (§4.2: "Other compression or encoding
+// techniques could be used ... as long as they are deterministic"). A
+// compressed message wraps a normal encoded payload:
+//
+//	[modeCompressed][uncompressed length uint32][deflate stream]
+//
+// Compression runs after encoding-mode selection, so the adaptive
+// dense/bitvec/indices choice still minimizes the pre-compression size.
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// modeCompressed wraps any other mode's payload in a deflate stream.
+const modeCompressed byte = 5
+
+const defaultCompressThreshold = 1024
+
+// maybeCompress wraps payload if the options ask for it and it helps.
+// Stats are adjusted by the bytes saved (attributed to metadata, since
+// values and metadata are interleaved post-compression).
+func (g *Gluon) maybeCompress(payload []byte) []byte {
+	if !g.Opt.Compress || !g.Opt.TemporalInvariance {
+		return payload
+	}
+	threshold := g.Opt.CompressThreshold
+	if threshold <= 0 {
+		threshold = defaultCompressThreshold
+	}
+	if len(payload) < threshold {
+		return payload
+	}
+	var buf bytes.Buffer
+	buf.WriteByte(modeCompressed)
+	var lenHdr [4]byte
+	binary.LittleEndian.PutUint32(lenHdr[:], uint32(len(payload)))
+	buf.Write(lenHdr[:])
+	// flate.BestSpeed: messages are latency-sensitive; level 1 already
+	// captures most of the redundancy in packed label arrays.
+	w, err := flate.NewWriter(&buf, flate.BestSpeed)
+	if err != nil {
+		return payload // cannot happen with a valid level; fail open
+	}
+	if _, err := w.Write(payload); err != nil {
+		return payload
+	}
+	if err := w.Close(); err != nil {
+		return payload
+	}
+	if buf.Len() >= len(payload) {
+		return payload // incompressible; send as-is
+	}
+	saved := uint64(len(payload) - buf.Len())
+	g.stats.CompressedMessages++
+	g.stats.CompressionSaved += saved
+	// The wire carries fewer bytes than the encoder accounted; correct the
+	// split by shrinking metadata first, then values.
+	if g.stats.MetadataBytes >= saved {
+		g.stats.MetadataBytes -= saved
+	} else {
+		rem := saved - g.stats.MetadataBytes
+		g.stats.MetadataBytes = 0
+		if g.stats.ValueBytes >= rem {
+			g.stats.ValueBytes -= rem
+		} else {
+			g.stats.ValueBytes = 0
+		}
+	}
+	return buf.Bytes()
+}
+
+// maybeDecompress unwraps a compressed payload; other payloads pass
+// through.
+func maybeDecompress(payload []byte) ([]byte, error) {
+	if len(payload) == 0 || payload[0] != modeCompressed {
+		return payload, nil
+	}
+	if len(payload) < 5 {
+		return nil, fmt.Errorf("short compressed message")
+	}
+	want := binary.LittleEndian.Uint32(payload[1:])
+	if want > 1<<30 {
+		return nil, fmt.Errorf("implausible decompressed size %d", want)
+	}
+	r := flate.NewReader(bytes.NewReader(payload[5:]))
+	defer r.Close()
+	out := make([]byte, want)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, fmt.Errorf("decompress: %w", err)
+	}
+	return out, nil
+}

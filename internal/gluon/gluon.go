@@ -1,0 +1,336 @@
+// Package gluon implements the paper's contribution: a
+// communication-optimizing substrate that couples shared-memory graph
+// analytics engines into a distributed-memory system.
+//
+// One Gluon instance lives on each host, wrapping that host's Partition and
+// a comm.Transport. Engines run rounds of computation on the local graph
+// and call Sync between rounds with a per-field synchronization descriptor
+// (the reduce/broadcast structs of §3.3). Gluon composes the minimal
+// communication pattern from
+//
+//   - structural invariants (§3.2): which proxies can be written/read under
+//     the partitioning policy, derived from per-proxy has-in/has-out flags —
+//     OEC degenerates to reduce-only, IEC to broadcast-only, CVC to
+//     subset-reduce + subset-broadcast, UVC to the full gather-apply-scatter;
+//   - temporal invariance (§4): a one-time memoization exchange fixes, for
+//     every host pair, which proxies communicate and in what order, so no
+//     global IDs are ever sent afterwards (§4.1), and per-message metadata
+//     adapts between dense / bitvector / index / empty encodings by computed
+//     size (§4.2).
+//
+// Every optimization can be disabled independently (Options), which is how
+// the Figure 10 UNOPT/OSI/OTI/OSTI experiments are produced.
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"gluon/internal/comm"
+	"gluon/internal/partition"
+)
+
+// Encoding selects how update metadata is represented on the wire.
+type Encoding uint8
+
+// Metadata encodings (§4.2). EncodingAuto — pick the smallest per message —
+// is the paper's behaviour; the fixed settings exist for ablation studies.
+const (
+	EncodingAuto Encoding = iota
+	EncodingDense
+	EncodingBitvec
+	EncodingIndices
+)
+
+// Options toggles the communication optimizations, matching the paper's
+// Figure 10 configurations.
+type Options struct {
+	// StructuralInvariants (OSI): when false, every field syncs with the
+	// unconstrained gather-apply-scatter pattern — reduce from all mirrors,
+	// then broadcast to all mirrors — regardless of policy.
+	StructuralInvariants bool
+	// TemporalInvariance (OTI): when false, messages carry (global-ID,
+	// value) pairs and the adaptive metadata encodings are disabled; the
+	// receiver translates IDs on arrival, as pre-Gluon systems do.
+	TemporalInvariance bool
+	// ForceEncoding pins the metadata encoding instead of the adaptive
+	// per-message choice (ablation of §4.2; ignored when
+	// TemporalInvariance is off). Empty messages are always sent as such.
+	ForceEncoding Encoding
+	// Compress applies deterministic DEFLATE compression to messages
+	// larger than CompressThreshold — the paper's §4.2 notes "other
+	// compression or encoding techniques could be used to represent the
+	// bit-vector as long as they are deterministic". Compression trades
+	// CPU for volume; worthwhile on slow links.
+	Compress bool
+	// CompressThreshold is the minimum payload size to compress
+	// (0 = 1 KiB).
+	CompressThreshold int
+}
+
+// Unopt returns the baseline configuration with both optimizations off.
+func Unopt() Options { return Options{} }
+
+// Opt returns the standard configuration (OSTI) with both optimizations on.
+func Opt() Options {
+	return Options{StructuralInvariants: true, TemporalInvariance: true}
+}
+
+// Gluon is one host's communication substrate instance.
+type Gluon struct {
+	Part *partition.Partition
+	T    comm.Transport
+	Opt  Options
+
+	// Memoized exchange orders (§4.1), all in agreed (GID-ascending) order.
+	//
+	// mirrors[h]: local IDs of my mirror proxies whose master is on host h.
+	// masters[h]: local IDs of my master proxies that have a mirror on h,
+	// positionally aligned with h's mirrors[me].
+	mirrors [][]uint32
+	masters [][]uint32
+
+	// Structural-invariant subsets (§3.2). mirrorsIn/mastersIn restrict to
+	// proxies whose mirror has incoming local edges (can be written by a
+	// write-at-destination operator); mirrorsOut/mastersOut to mirrors with
+	// outgoing edges (will be read by a read-at-source operator).
+	mirrorsIn, mirrorsOut [][]uint32
+	mastersIn, mastersOut [][]uint32
+
+	stats Stats
+}
+
+// New builds the substrate for one host and performs the memoization
+// exchange with all peers. All hosts of the communicator must call New
+// concurrently (it communicates).
+func New(p *partition.Partition, t comm.Transport, opt Options) (*Gluon, error) {
+	if p.HostID != t.HostID() || p.NumHosts != t.NumHosts() {
+		return nil, fmt.Errorf("gluon: partition host %d/%d does not match transport %d/%d",
+			p.HostID, p.NumHosts, t.HostID(), t.NumHosts())
+	}
+	g := &Gluon{Part: p, T: t, Opt: opt}
+	if err := g.memoize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// memoize runs the §4.1 exchange: each host informs every other host of the
+// global IDs of its mirrors owned by that host, together with the mirrors'
+// structural flags; both sides then translate to local IDs once and never
+// exchange IDs again.
+//
+// The exchange always runs — even under UNOPT options — because the runtime
+// needs to know which host pairs communicate; UNOPT merely ignores the
+// memoized ordering when encoding messages.
+func (g *Gluon) memoize() error {
+	p := g.Part
+	me := p.HostID
+	n := p.NumHosts
+
+	byOwner := p.MirrorGIDsByOwner()
+	g.mirrors = make([][]uint32, n)
+	g.mirrorsIn = make([][]uint32, n)
+	g.mirrorsOut = make([][]uint32, n)
+	g.masters = make([][]uint32, n)
+	g.mastersIn = make([][]uint32, n)
+	g.mastersOut = make([][]uint32, n)
+
+	// Send to each peer: count, gids, then per-mirror in/out flag bytes.
+	for h := 0; h < n; h++ {
+		if h == me {
+			continue
+		}
+		gids := byOwner[h]
+		payload := make([]byte, 4+len(gids)*9)
+		binary.LittleEndian.PutUint32(payload, uint32(len(gids)))
+		off := 4
+		lids := make([]uint32, len(gids))
+		for i, gid := range gids {
+			lid, ok := p.LID(gid)
+			if !ok {
+				return fmt.Errorf("gluon: host %d: mirror gid %d has no local ID", me, gid)
+			}
+			lids[i] = lid
+			binary.LittleEndian.PutUint64(payload[off:], gid)
+			var flags byte
+			if p.HasIn.Test(lid) {
+				flags |= 1
+			}
+			if p.HasOut.Test(lid) {
+				flags |= 2
+			}
+			payload[off+8] = flags
+			off += 9
+		}
+		g.mirrors[h] = lids
+		for _, lid := range lids {
+			if p.HasIn.Test(lid) {
+				g.mirrorsIn[h] = append(g.mirrorsIn[h], lid)
+			}
+			if p.HasOut.Test(lid) {
+				g.mirrorsOut[h] = append(g.mirrorsOut[h], lid)
+			}
+		}
+		if err := g.T.Send(h, comm.TagMemo, payload); err != nil {
+			return err
+		}
+	}
+
+	for h := 0; h < n; h++ {
+		if h == me {
+			continue
+		}
+		payload, err := g.T.Recv(h, comm.TagMemo)
+		if err != nil {
+			return err
+		}
+		cnt := binary.LittleEndian.Uint32(payload)
+		off := 4
+		g.masters[h] = make([]uint32, cnt)
+		for i := uint32(0); i < cnt; i++ {
+			gid := binary.LittleEndian.Uint64(payload[off:])
+			flags := payload[off+8]
+			off += 9
+			lid, ok := p.LID(gid)
+			if !ok || !p.IsMaster(lid) {
+				return fmt.Errorf("gluon: host %d: peer %d claims mirror of gid %d which is not my master", me, h, gid)
+			}
+			g.masters[h][i] = lid
+			if flags&1 != 0 {
+				g.mastersIn[h] = append(g.mastersIn[h], lid)
+			}
+			if flags&2 != 0 {
+				g.mastersOut[h] = append(g.mastersOut[h], lid)
+			}
+		}
+	}
+	g.stats.MemoProxies = countAll(g.mirrors) + countAll(g.masters)
+	return nil
+}
+
+func countAll(lists [][]uint32) uint64 {
+	var c uint64
+	for _, l := range lists {
+		c += uint64(len(l))
+	}
+	return c
+}
+
+// HostID returns this instance's host rank.
+func (g *Gluon) HostID() int { return g.Part.HostID }
+
+// NumHosts returns the communicator size.
+func (g *Gluon) NumHosts() int { return g.Part.NumHosts }
+
+// Barrier blocks until all hosts reach it.
+func (g *Gluon) Barrier() error { return comm.Barrier(g.T) }
+
+// AllReduceSum sums val across hosts and returns the total on every host.
+// Engines use it for termination detection (global quiescence: total
+// active-work count reaches zero).
+func (g *Gluon) AllReduceSum(val uint64) (uint64, error) { return comm.AllReduceSum(g.T, val) }
+
+// AllReduceMax returns the maximum of val across hosts on every host.
+func (g *Gluon) AllReduceMax(val uint64) (uint64, error) { return comm.AllReduceMax(g.T, val) }
+
+// Stats returns a snapshot of the substrate's communication counters.
+func (g *Gluon) Stats() Stats { return g.stats }
+
+// ResetStats zeroes the communication counters (partition-time counters
+// like MemoProxies are preserved).
+func (g *Gluon) ResetStats() {
+	memo := g.stats.MemoProxies
+	g.stats = Stats{MemoProxies: memo}
+}
+
+// MirrorCount returns the total number of mirror proxies on this host.
+func (g *Gluon) MirrorCount() uint32 { return g.Part.NumProxies() - g.Part.NumMasters }
+
+// peersForReduce returns, for the given write location, the per-peer mirror
+// lists this host must send during a reduce and the per-peer master lists it
+// receives into, honoring or ignoring structural invariants per Options.
+func (g *Gluon) peersForReduce(write Location) (sendMirrors, recvMasters [][]uint32) {
+	if !g.Opt.StructuralInvariants {
+		return g.mirrors, g.masters
+	}
+	switch write {
+	case AtDestination:
+		return g.mirrorsIn, g.mastersIn
+	case AtSource:
+		return g.mirrorsOut, g.mastersOut
+	default:
+		return g.mirrors, g.masters
+	}
+}
+
+// peersForBroadcast returns, for the given read location, the per-peer
+// master lists this host sends during a broadcast and the mirror lists it
+// receives into.
+func (g *Gluon) peersForBroadcast(read Location) (sendMasters, recvMirrors [][]uint32) {
+	if !g.Opt.StructuralInvariants {
+		return g.masters, g.mirrors
+	}
+	switch read {
+	case AtSource:
+		return g.mastersOut, g.mirrorsOut
+	case AtDestination:
+		return g.mastersIn, g.mirrorsIn
+	default:
+		return g.masters, g.mirrors
+	}
+}
+
+// BroadcastNeeded reports whether, under the current options and the
+// field's read location, any broadcast communication exists for this host
+// pair set. The distributed runners use it to skip no-op phases.
+func (g *Gluon) BroadcastNeeded(read Location) bool {
+	send, recv := g.peersForBroadcast(read)
+	return countAll(send)+countAll(recv) > 0
+}
+
+// ReduceNeeded is the reduce-side analogue of BroadcastNeeded.
+func (g *Gluon) ReduceNeeded(write Location) bool {
+	send, recv := g.peersForReduce(write)
+	return countAll(send)+countAll(recv) > 0
+}
+
+// Partners reports how many peers this host exchanges field values with
+// for a (write, read) location pair under the current options — the §5.6
+// metric ("UNOPT results in broadcasting updated values to at most 22
+// hosts while OPT broadcasts to at most 7"): structural invariants shrink
+// the partner sets, CVC bounds them to a grid row/column.
+func (g *Gluon) Partners(write, read Location) (reducePeers, broadcastPeers int) {
+	sendMirrors, recvMasters := g.peersForReduce(write)
+	sendMasters, recvMirrors := g.peersForBroadcast(read)
+	for h := 0; h < g.NumHosts(); h++ {
+		if h == g.HostID() {
+			continue
+		}
+		if len(sendMirrors[h]) > 0 || len(recvMasters[h]) > 0 {
+			reducePeers++
+		}
+		if len(sendMasters[h]) > 0 || len(recvMirrors[h]) > 0 {
+			broadcastPeers++
+		}
+	}
+	return reducePeers, broadcastPeers
+}
+
+// VerifyMemoization cross-checks the memoized orders between all hosts by
+// re-exchanging GID digests; used by tests and the partition inspector.
+func (g *Gluon) VerifyMemoization() error {
+	p := g.Part
+	for h := 0; h < p.NumHosts; h++ {
+		if h == p.HostID {
+			continue
+		}
+		if !sort.SliceIsSorted(g.mirrors[h], func(a, b int) bool {
+			return p.GID(g.mirrors[h][a]) < p.GID(g.mirrors[h][b])
+		}) {
+			return fmt.Errorf("gluon: host %d: mirrors[%d] not in GID order", p.HostID, h)
+		}
+	}
+	return nil
+}

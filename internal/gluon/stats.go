@@ -1,0 +1,54 @@
+package gluon
+
+import "time"
+
+// Stats counts this host's substrate traffic, split the way the paper's
+// Figure 10 reports it: value payload versus metadata (bit-vectors, index
+// lists, global IDs), plus per-encoding-mode message counts.
+type Stats struct {
+	// Syncs is the number of Sync* calls completed.
+	Syncs uint64
+	// MessagesSent counts field-synchronization messages (not barriers or
+	// memoization).
+	MessagesSent uint64
+	// ValueBytes is payload spent on field values.
+	ValueBytes uint64
+	// MetadataBytes is payload spent on encodings: mode bytes, counts,
+	// bit-vectors, and index lists.
+	MetadataBytes uint64
+	// GIDBytes is payload spent sending global IDs (only nonzero when
+	// temporal invariance is disabled).
+	GIDBytes uint64
+	// ModeCounts counts messages by encoding mode.
+	ModeCounts [5]uint64
+	// TimeInSync is wall time spent inside Sync* calls (communication time
+	// in the paper's breakdown).
+	TimeInSync time.Duration
+	// MemoProxies is the total number of (mirror + master) entries in the
+	// memoized exchange orders — the one-time memory overhead of §4.1.
+	MemoProxies uint64
+	// CompressedMessages counts messages shipped through the optional
+	// DEFLATE wrapper; CompressionSaved is the wire bytes it removed.
+	CompressedMessages uint64
+	CompressionSaved   uint64
+}
+
+// BytesSent returns total field-sync payload bytes.
+func (s Stats) BytesSent() uint64 { return s.ValueBytes + s.MetadataBytes + s.GIDBytes }
+
+// Add accumulates other into s and returns the sum, for cross-host rollups.
+func (s Stats) Add(other Stats) Stats {
+	s.Syncs += other.Syncs
+	s.MessagesSent += other.MessagesSent
+	s.ValueBytes += other.ValueBytes
+	s.MetadataBytes += other.MetadataBytes
+	s.GIDBytes += other.GIDBytes
+	for i := range s.ModeCounts {
+		s.ModeCounts[i] += other.ModeCounts[i]
+	}
+	s.TimeInSync += other.TimeInSync
+	s.MemoProxies += other.MemoProxies
+	s.CompressedMessages += other.CompressedMessages
+	s.CompressionSaved += other.CompressionSaved
+	return s
+}

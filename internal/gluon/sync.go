@@ -1,0 +1,503 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"gluon/internal/bitset"
+	"gluon/internal/comm"
+)
+
+// Location says at which edge endpoint a field is written or read by the
+// operator, the information the sync call carries in the paper's API
+// (WriteAtDestination / ReadAtSource in Figure 4).
+type Location uint8
+
+// Endpoint locations.
+const (
+	// AtDestination: the operator touches the field at edge destinations
+	// (push-style writes, pull-style writes to the active node).
+	AtDestination Location = iota
+	// AtSource: the operator touches the field at edge sources.
+	AtSource
+	// Anywhere: no structural restriction can be assumed.
+	Anywhere
+)
+
+// ReduceSpec is the reduce synchronization structure of §3.3. Mirrors call
+// Extract to read partial values; masters call Reduce to fold a received
+// value in (returning whether the master's value changed); mirrors call
+// Reset to return to the reduction identity after their value is shipped.
+//
+// Contract required by the dense encoding: Extract on a proxy that was not
+// updated this round must yield a value that is a no-op under Reduce
+// (i.e. the reduction identity, or an already-incorporated value of an
+// idempotent reduction such as min).
+type ReduceSpec[V Value] interface {
+	Extract(lid uint32) V
+	Reduce(lid uint32, v V) bool
+	Reset(lid uint32)
+}
+
+// BroadcastSpec is the broadcast synchronization structure of §3.3.
+// Masters call Extract; mirrors call Set with the canonical value, returning
+// whether the mirror's stored value changed.
+type BroadcastSpec[V Value] interface {
+	Extract(lid uint32) V
+	Set(lid uint32, v V) bool
+}
+
+// BulkExtractor is the optional bulk variant of Extract the paper provides
+// for GPUs (§3.3): the runtime hands the whole memoized order (or the
+// updated subset) at once, so a device engine can stage one device→host
+// copy instead of per-node callbacks. Specs that implement it are detected
+// dynamically; dst has the required capacity.
+type BulkExtractor[V Value] interface {
+	ExtractBulk(lids []uint32, dst []V) []V
+}
+
+// gatherFor builds the value-gather function for a spec, preferring the
+// bulk variant when the spec provides one.
+func gatherFor[V Value](spec interface{ Extract(lid uint32) V }) func(lids []uint32, dst []V) []V {
+	if be, ok := spec.(BulkExtractor[V]); ok {
+		return be.ExtractBulk
+	}
+	return func(lids []uint32, dst []V) []V {
+		dst = dst[:len(lids)]
+		for i, lid := range lids {
+			dst[i] = spec.Extract(lid)
+		}
+		return dst
+	}
+}
+
+// Field describes one synchronizable node field: where the operator writes
+// and reads it, and how to move its values. It corresponds to one
+// sync<WriteLoc, ReadLoc, Reduce, Broadcast>() instantiation in the paper.
+type Field[V Value] struct {
+	// ID must be unique among concurrently synchronized fields; it
+	// namespaces message tags.
+	ID uint32
+	// Name is used in diagnostics only.
+	Name string
+	// Write is where the operator writes the field; Read where it reads it.
+	Write, Read Location
+	Reduce      ReduceSpec[V]
+	Broadcast   BroadcastSpec[V]
+}
+
+// Message encoding modes (§4.2).
+const (
+	modeEmpty   byte = 0 // no updates
+	modeDense   byte = 1 // values for every proxy in the memoized order
+	modeBitvec  byte = 2 // bit-vector over the order + packed updated values
+	modeIndices byte = 3 // index list + packed updated values
+	modeGIDs    byte = 4 // (global-ID, value) pairs; the pre-Gluon wire format
+)
+
+func (g *Gluon) reduceTag(fieldID uint32) comm.Tag {
+	return comm.TagUser + comm.Tag(fieldID)*2
+}
+
+func (g *Gluon) broadcastTag(fieldID uint32) comm.Tag {
+	return comm.TagUser + comm.Tag(fieldID)*2 + 1
+}
+
+// Sync synchronizes one field across all hosts: a reduce phase (mirror
+// values folded into masters) followed by a broadcast phase (canonical
+// values pushed back to mirrors), each restricted to the structurally
+// necessary proxy subsets. For OEC partitions of push-style fields the
+// broadcast phase is empty; for IEC the reduce phase is empty; CVC uses
+// proper subsets of mirrors in both; unconstrained cuts use all mirrors.
+//
+// updated tracks which local proxies changed this round; Sync consumes
+// mirror bits it ships (resetting those mirrors), adds bits for masters
+// changed by reduce and mirrors changed by broadcast, so that on return
+// updated holds exactly the proxies whose values are new — the engine's
+// next frontier. A nil updated means "assume everything changed".
+func Sync[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
+	if f.Reduce != nil {
+		if err := SyncReduce(g, f, updated); err != nil {
+			return err
+		}
+	}
+	if f.Broadcast != nil {
+		if err := SyncBroadcast(g, f, updated); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncReduce runs only the reduce pattern for f.
+func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
+	start := time.Now()
+	defer func() {
+		g.stats.TimeInSync += time.Since(start)
+		g.stats.Syncs++
+	}()
+
+	sendMirrors, recvMasters := g.peersForReduce(f.Write)
+	tag := g.reduceTag(f.ID)
+	me := g.HostID()
+	gatherReduce := gatherFor[V](f.Reduce)
+
+	// Ship mirror values to owners. Sends run in a goroutine so that large
+	// bidirectional exchanges cannot deadlock on transport buffering.
+	sendErr := make(chan error, 1)
+	go func() {
+		for h := 0; h < g.NumHosts(); h++ {
+			order := sendMirrors[h]
+			if h == me || len(order) == 0 {
+				continue
+			}
+			payload, sent := encodeMsg(g, order, updated, gatherReduce)
+			payload = g.maybeCompress(payload)
+			// Mirrors whose value was shipped return to the reduction
+			// identity, and their "changed" bit migrates to the master.
+			for _, lid := range sent {
+				f.Reduce.Reset(lid)
+				if updated != nil {
+					updated.Clear(lid)
+				}
+			}
+			if err := g.T.Send(h, tag, payload); err != nil {
+				sendErr <- fmt.Errorf("gluon: reduce %s to host %d: %w", f.Name, h, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	// Fold received mirror values into masters.
+	for h := 0; h < g.NumHosts(); h++ {
+		order := recvMasters[h]
+		if h == me || len(order) == 0 {
+			continue
+		}
+		payload, err := g.T.Recv(h, tag)
+		if err != nil {
+			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+		}
+		err = decodeMsg(g, payload, order, func(lid uint32, v V) {
+			if f.Reduce.Reduce(lid, v) && updated != nil {
+				updated.Set(lid)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+		}
+	}
+	return <-sendErr
+}
+
+// SyncBroadcast runs only the broadcast pattern for f.
+func SyncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
+	start := time.Now()
+	defer func() {
+		g.stats.TimeInSync += time.Since(start)
+		g.stats.Syncs++
+	}()
+
+	sendMasters, recvMirrors := g.peersForBroadcast(f.Read)
+	tag := g.broadcastTag(f.ID)
+	me := g.HostID()
+	gatherBcast := gatherFor[V](f.Broadcast)
+
+	sendErr := make(chan error, 1)
+	go func() {
+		for h := 0; h < g.NumHosts(); h++ {
+			order := sendMasters[h]
+			if h == me || len(order) == 0 {
+				continue
+			}
+			payload, _ := encodeMsg(g, order, updated, gatherBcast)
+			payload = g.maybeCompress(payload)
+			if err := g.T.Send(h, tag, payload); err != nil {
+				sendErr <- fmt.Errorf("gluon: broadcast %s to host %d: %w", f.Name, h, err)
+				return
+			}
+		}
+		sendErr <- nil
+	}()
+
+	for h := 0; h < g.NumHosts(); h++ {
+		order := recvMirrors[h]
+		if h == me || len(order) == 0 {
+			continue
+		}
+		payload, err := g.T.Recv(h, tag)
+		if err != nil {
+			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
+		}
+		err = decodeMsg(g, payload, order, func(lid uint32, v V) {
+			f.Broadcast.Set(lid, v)
+			// Delivery activates the mirror even when the value is
+			// unchanged: the mirror that originated this round's best value
+			// has the value already, but its outgoing edges have not been
+			// processed with it yet (matters for unconstrained vertex cuts,
+			// where a mirror can have both incoming and outgoing edges).
+			if updated != nil {
+				updated.Set(lid)
+			}
+		})
+		if err != nil {
+			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
+		}
+	}
+	return <-sendErr
+}
+
+// BroadcastAll pushes masters' canonical values to every mirror regardless
+// of structural pattern or update tracking: a full reconciliation, used to
+// finalize results before output or verification.
+func BroadcastAll[V Value](g *Gluon, f Field[V]) error {
+	full := Field[V]{ID: f.ID, Name: f.Name, Write: Anywhere, Read: Anywhere, Broadcast: f.Broadcast}
+	saved := g.Opt.StructuralInvariants
+	g.Opt.StructuralInvariants = false
+	err := SyncBroadcast(g, full, nil)
+	g.Opt.StructuralInvariants = saved
+	return err
+}
+
+// encodeMsg builds one field-sync message for the given memoized order,
+// selecting the cheapest of the §4.2 encodings (or (GID, value) pairs when
+// temporal invariance is off). Values are obtained through gather — one
+// bulk call per message, matching the GPU plugin's staged transfers. It
+// returns the payload and the slice of local IDs whose values were shipped.
+func encodeMsg[V Value](g *Gluon, order []uint32, updated *bitset.Bitset, gather func(lids []uint32, dst []V) []V) (payload []byte, sent []uint32) {
+	vs := valSize[V]()
+	n := len(order)
+
+	if !g.Opt.TemporalInvariance {
+		// Pre-Gluon wire format: (global-ID, value) pairs for every updated
+		// proxy. No memoized ordering is assumed by the receiver.
+		for _, lid := range order {
+			if updated == nil || updated.Test(lid) {
+				sent = append(sent, lid)
+			}
+		}
+		vals := gather(sent, make([]V, len(sent)))
+		payload = make([]byte, 5+len(sent)*(8+vs))
+		payload[0] = modeGIDs
+		binary.LittleEndian.PutUint32(payload[1:], uint32(len(sent)))
+		off := 5
+		for i, lid := range sent {
+			binary.LittleEndian.PutUint64(payload[off:], g.Part.GID(lid))
+			putVal(payload[off+8:], vals[i])
+			off += 8 + vs
+		}
+		g.stats.MessagesSent++
+		g.stats.ModeCounts[modeGIDs]++
+		g.stats.MetadataBytes += 5
+		g.stats.GIDBytes += uint64(len(sent)) * 8
+		g.stats.ValueBytes += uint64(len(sent)) * uint64(vs)
+		return payload, sent
+	}
+
+	// Positions (into the memoized order) carrying an update this round.
+	var positions []uint32
+	if updated == nil {
+		positions = make([]uint32, n)
+		for i := range positions {
+			positions[i] = uint32(i)
+		}
+		sent = order
+	} else {
+		for i, lid := range order {
+			if updated.Test(lid) {
+				positions = append(positions, uint32(i))
+				sent = append(sent, lid)
+			}
+		}
+	}
+	k := len(positions)
+
+	// Size each §4.2 encoding and pick the smallest.
+	if k == 0 {
+		g.stats.MessagesSent++
+		g.stats.ModeCounts[modeEmpty]++
+		g.stats.MetadataBytes++
+		return []byte{modeEmpty}, nil
+	}
+	bvWords := (n + 63) / 64
+	denseSize := 1 + n*vs
+	bitvecSize := 1 + 4 + bvWords*8 + k*vs
+	idxSize := 1 + 4 + k*4 + k*vs
+	// A forced encoding disqualifies the others (ablation mode).
+	switch g.Opt.ForceEncoding {
+	case EncodingDense:
+		bitvecSize, idxSize = 1<<30, 1<<30
+	case EncodingBitvec:
+		denseSize, idxSize = 1<<30, 1<<30
+	case EncodingIndices:
+		denseSize, bitvecSize = 1<<30, 1<<30
+	}
+
+	switch {
+	case denseSize <= bitvecSize && denseSize <= idxSize:
+		// Dense messages ship every proxy in the order.
+		sent = order
+		vals := gather(order, make([]V, n))
+		payload = make([]byte, denseSize)
+		payload[0] = modeDense
+		off := 1
+		for _, v := range vals {
+			putVal(payload[off:], v)
+			off += vs
+		}
+		g.stats.ModeCounts[modeDense]++
+		g.stats.MetadataBytes++
+		g.stats.ValueBytes += uint64(n) * uint64(vs)
+	case bitvecSize <= idxSize:
+		vals := gather(sent, make([]V, k))
+		payload = make([]byte, bitvecSize)
+		payload[0] = modeBitvec
+		binary.LittleEndian.PutUint32(payload[1:], uint32(k))
+		bv := bitset.New(uint32(n))
+		for _, pos := range positions {
+			bv.SetUnsync(pos)
+		}
+		off := 5
+		for _, w := range bv.Words() {
+			binary.LittleEndian.PutUint64(payload[off:], w)
+			off += 8
+		}
+		for _, v := range vals {
+			putVal(payload[off:], v)
+			off += vs
+		}
+		g.stats.ModeCounts[modeBitvec]++
+		g.stats.MetadataBytes += uint64(5 + bvWords*8)
+		g.stats.ValueBytes += uint64(k) * uint64(vs)
+	default:
+		vals := gather(sent, make([]V, k))
+		payload = make([]byte, idxSize)
+		payload[0] = modeIndices
+		binary.LittleEndian.PutUint32(payload[1:], uint32(k))
+		off := 5
+		for _, pos := range positions {
+			binary.LittleEndian.PutUint32(payload[off:], pos)
+			off += 4
+		}
+		for _, v := range vals {
+			putVal(payload[off:], v)
+			off += vs
+		}
+		g.stats.ModeCounts[modeIndices]++
+		g.stats.MetadataBytes += uint64(5 + k*4)
+		g.stats.ValueBytes += uint64(k) * uint64(vs)
+	}
+	g.stats.MessagesSent++
+	return payload, sent
+}
+
+// decodeMsg applies one received field-sync message: apply is called with
+// the local ID (resolved through the memoized order, or through global-ID
+// translation for modeGIDs messages) and the value.
+func decodeMsg[V Value](g *Gluon, payload []byte, order []uint32, apply func(lid uint32, v V)) error {
+	payload, err := maybeDecompress(payload)
+	if err != nil {
+		return err
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("empty payload")
+	}
+	vs := valSize[V]()
+	mode := payload[0]
+	body := payload[1:]
+	switch mode {
+	case modeEmpty:
+		return nil
+	case modeDense:
+		if len(body) != len(order)*vs {
+			return fmt.Errorf("dense message: %d bytes for %d proxies of size %d", len(body), len(order), vs)
+		}
+		off := 0
+		for _, lid := range order {
+			apply(lid, getVal[V](body[off:]))
+			off += vs
+		}
+	case modeBitvec:
+		if len(body) < 4 {
+			return fmt.Errorf("short bitvec message")
+		}
+		k := binary.LittleEndian.Uint32(body)
+		n := len(order)
+		bvWords := (n + 63) / 64
+		if len(body) != 4+bvWords*8+int(k)*vs {
+			return fmt.Errorf("bitvec message: %d bytes, want %d", len(body), 4+bvWords*8+int(k)*vs)
+		}
+		words := make([]uint64, bvWords)
+		off := 4
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(body[off:])
+			off += 8
+		}
+		bv, err := bitset.FromWords(words, uint32(n))
+		if err != nil {
+			return err
+		}
+		applied := uint32(0)
+		var derr error
+		bv.ForEach(func(pos uint32) {
+			if derr != nil {
+				return
+			}
+			if applied >= k {
+				derr = fmt.Errorf("bitvec message: more set bits than count %d", k)
+				return
+			}
+			apply(order[pos], getVal[V](body[off:]))
+			off += vs
+			applied++
+		})
+		if derr != nil {
+			return derr
+		}
+		if applied != k {
+			return fmt.Errorf("bitvec message: %d set bits, count says %d", applied, k)
+		}
+	case modeIndices:
+		if len(body) < 4 {
+			return fmt.Errorf("short indices message")
+		}
+		k := int(binary.LittleEndian.Uint32(body))
+		if len(body) != 4+k*4+k*vs {
+			return fmt.Errorf("indices message: %d bytes, want %d", len(body), 4+k*4+k*vs)
+		}
+		idxOff, valOff := 4, 4+k*4
+		for i := 0; i < k; i++ {
+			pos := binary.LittleEndian.Uint32(body[idxOff:])
+			if int(pos) >= len(order) {
+				return fmt.Errorf("indices message: position %d out of %d", pos, len(order))
+			}
+			apply(order[pos], getVal[V](body[valOff:]))
+			idxOff += 4
+			valOff += vs
+		}
+	case modeGIDs:
+		if len(body) < 4 {
+			return fmt.Errorf("short gid-pairs message")
+		}
+		k := int(binary.LittleEndian.Uint32(body))
+		if len(body) != 4+k*(8+vs) {
+			return fmt.Errorf("gid-pairs message: %d bytes, want %d", len(body), 4+k*(8+vs))
+		}
+		off := 4
+		for i := 0; i < k; i++ {
+			gid := binary.LittleEndian.Uint64(body[off:])
+			v := getVal[V](body[off+8:])
+			off += 8 + vs
+			lid, ok := g.Part.LID(gid)
+			if !ok {
+				return fmt.Errorf("gid-pairs message: gid %d has no local proxy", gid)
+			}
+			apply(lid, v)
+		}
+	default:
+		return fmt.Errorf("unknown message mode %d", mode)
+	}
+	return nil
+}

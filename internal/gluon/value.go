@@ -1,0 +1,62 @@
+package gluon
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Value constrains the node-field element types Gluon can synchronize:
+// fixed-width numerics with a defined little-endian wire encoding. The
+// paper's benchmarks all use 32-bit labels; 64-bit and float fields are
+// supported for pagerank-style algorithms.
+type Value interface {
+	uint32 | uint64 | int32 | int64 | float32 | float64
+}
+
+// valSize returns the wire size of V in bytes.
+func valSize[V Value]() int {
+	var v V
+	switch any(v).(type) {
+	case uint32, int32, float32:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// putVal encodes v at the start of b (little-endian).
+func putVal[V Value](b []byte, v V) {
+	switch x := any(v).(type) {
+	case uint32:
+		binary.LittleEndian.PutUint32(b, x)
+	case int32:
+		binary.LittleEndian.PutUint32(b, uint32(x))
+	case float32:
+		binary.LittleEndian.PutUint32(b, math.Float32bits(x))
+	case uint64:
+		binary.LittleEndian.PutUint64(b, x)
+	case int64:
+		binary.LittleEndian.PutUint64(b, uint64(x))
+	case float64:
+		binary.LittleEndian.PutUint64(b, math.Float64bits(x))
+	}
+}
+
+// getVal decodes a V from the start of b.
+func getVal[V Value](b []byte) V {
+	var v V
+	switch any(v).(type) {
+	case uint32:
+		return any(binary.LittleEndian.Uint32(b)).(V)
+	case int32:
+		return any(int32(binary.LittleEndian.Uint32(b))).(V)
+	case float32:
+		return any(math.Float32frombits(binary.LittleEndian.Uint32(b))).(V)
+	case uint64:
+		return any(binary.LittleEndian.Uint64(b)).(V)
+	case int64:
+		return any(int64(binary.LittleEndian.Uint64(b))).(V)
+	default:
+		return any(math.Float64frombits(binary.LittleEndian.Uint64(b))).(V)
+	}
+}

@@ -1,0 +1,112 @@
+// Package par contains the small data-parallel loop helpers shared by the
+// computation engines. Engines differ in scheduling policy (frontiers,
+// worklists, bulk kernels) but all ultimately fan work out over a fixed
+// worker pool; this package is that pool.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers returns the worker count used when a caller passes 0.
+func DefaultWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs body(i) for every i in [0, n) across workers goroutines,
+// dividing the range into contiguous chunks. workers <= 0 means
+// DefaultWorkers. It blocks until all iterations complete.
+func For(n int, workers int, body func(i int)) {
+	Range(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Range runs body(lo, hi) over a contiguous chunking of [0, n). Each worker
+// receives exactly one chunk; workers <= 0 means DefaultWorkers. Chunked
+// form lets bodies keep per-chunk state (local counters, scratch buffers)
+// without false sharing.
+func Range(n int, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// SumUint64 runs body over chunks of [0, n), each returning a partial
+// uint64 sum, and returns the total. Used for counting active work without
+// atomic contention.
+func SumUint64(n int, workers int, body func(lo, hi int) uint64) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return body(0, n)
+	}
+	partial := make([]uint64, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	launched := 0
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		launched++
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partial[w] = body(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var total uint64
+	for _, p := range partial[:launched] {
+		total += p
+	}
+	return total
+}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEach(t *testing.T) {
+	const n = 1000
+	var seen [n]uint32
+	For(n, 4, func(i int) { atomic.AddUint32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-5, 4, func(int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+}
+
+func TestRangeCoversDisjoint(t *testing.T) {
+	const n = 777
+	var mask [n]uint32
+	Range(n, 5, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddUint32(&mask[i], 1)
+		}
+	})
+	for i, c := range mask {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestRangeSingleWorker(t *testing.T) {
+	calls := 0
+	Range(10, 1, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 10 {
+			t.Fatalf("chunk [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls %d", calls)
+	}
+}
+
+func TestSumUint64(t *testing.T) {
+	got := SumUint64(100, 7, func(lo, hi int) uint64 {
+		var s uint64
+		for i := lo; i < hi; i++ {
+			s += uint64(i)
+		}
+		return s
+	})
+	if got != 99*100/2 {
+		t.Fatalf("sum %d", got)
+	}
+	if SumUint64(0, 4, func(int, int) uint64 { return 99 }) != 0 {
+		t.Fatal("empty sum nonzero")
+	}
+}
+
+// TestQuickSumMatchesSequential for arbitrary sizes and worker counts.
+func TestQuickSumMatchesSequential(t *testing.T) {
+	f := func(nRaw uint16, wRaw uint8) bool {
+		n := int(nRaw) % 2000
+		w := int(wRaw)%16 + 1
+		got := SumUint64(n, w, func(lo, hi int) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += uint64(i) * 3
+			}
+			return s
+		})
+		var want uint64
+		for i := 0; i < n; i++ {
+			want += uint64(i) * 3
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatal("DefaultWorkers < 1")
+	}
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"gluon/internal/comm"
+	"gluon/internal/graph"
+)
+
+// TestDistributeMatchesCentralized: distributed construction from
+// arbitrary shards produces partitions identical in structure to the
+// centralized PartitionAll.
+func TestDistributeMatchesCentralized(t *testing.T) {
+	numNodes, edges, g := genEdges(t, 9)
+	opt := options(g, numNodes)
+	for _, kind := range AllKinds() {
+		for _, hosts := range []int{2, 4, 5} {
+			t.Run(fmt.Sprintf("%s/h%d", kind, hosts), func(t *testing.T) {
+				pol, err := NewPolicy(kind, numNodes, hosts, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := PartitionAll(numNodes, edges, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hub := comm.NewHub(hosts)
+				defer hub.Close()
+				got, err := DistributeAll(numNodes, edges, pol, hub, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for h := range want {
+					if got[h].NumMasters != want[h].NumMasters {
+						t.Fatalf("host %d: masters %d vs %d", h, got[h].NumMasters, want[h].NumMasters)
+					}
+					if got[h].NumProxies() != want[h].NumProxies() {
+						t.Fatalf("host %d: proxies %d vs %d", h, got[h].NumProxies(), want[h].NumProxies())
+					}
+					if got[h].Graph.NumEdges() != want[h].Graph.NumEdges() {
+						t.Fatalf("host %d: edges %d vs %d", h, got[h].Graph.NumEdges(), want[h].Graph.NumEdges())
+					}
+					for lid := uint32(0); lid < want[h].NumProxies(); lid++ {
+						if got[h].GID(lid) != want[h].GID(lid) {
+							t.Fatalf("host %d lid %d: gid %d vs %d", h, lid, got[h].GID(lid), want[h].GID(lid))
+						}
+					}
+					// Edge multisets per host match (order may differ).
+					if !sameEdgeMultiset(got[h], want[h]) {
+						t.Fatalf("host %d: local edge multisets differ", h)
+					}
+				}
+			})
+		}
+	}
+}
+
+func sameEdgeMultiset(a, b *Partition) bool {
+	count := func(p *Partition) map[[2]uint64]int {
+		m := map[[2]uint64]int{}
+		for u := uint32(0); u < p.Graph.NumNodes(); u++ {
+			for _, v := range p.Graph.Neighbors(u) {
+				m[[2]uint64{p.GID(u), p.GID(v)}]++
+			}
+		}
+		return m
+	}
+	ca, cb := count(a), count(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for k, v := range ca {
+		if cb[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDistributeWeighted: weights survive the shuffle.
+func TestDistributeWeighted(t *testing.T) {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 3, Weight: 7},
+		{Src: 3, Dst: 1, Weight: 9},
+		{Src: 1, Dst: 2, Weight: 11},
+	}
+	pol, err := NewPolicy(OEC, 4, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := comm.NewHub(2)
+	defer hub.Close()
+	parts, err := DistributeAll(4, edges, pol, hub, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, p := range parts {
+		if !p.Graph.HasWeights {
+			t.Fatal("weights dropped")
+		}
+		for _, w := range p.Graph.Weights {
+			total += uint64(w)
+		}
+	}
+	if total != 27 {
+		t.Fatalf("weight sum %d, want 27", total)
+	}
+}
+
+// TestDistributeHostMismatch: policy/transport size disagreement errors.
+func TestDistributeHostMismatch(t *testing.T) {
+	pol, _ := NewPolicy(OEC, 4, 3, Options{})
+	hub := comm.NewHub(2)
+	defer hub.Close()
+	if _, err := Distribute(4, nil, pol, hub.Endpoint(0), false); err == nil {
+		t.Fatal("mismatched sizes accepted")
+	}
+}
+
+func TestEdgeCodecRoundTrip(t *testing.T) {
+	edges := []graph.Edge{{Src: 1, Dst: 2, Weight: 3}, {Src: 1 << 40, Dst: 9, Weight: 0}}
+	got, err := decodeEdges(encodeEdges(edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != edges[0] || got[1] != edges[1] {
+		t.Fatalf("roundtrip %v", got)
+	}
+	if _, err := decodeEdges([]byte{1, 2}); err == nil {
+		t.Fatal("short batch accepted")
+	}
+	if _, err := decodeEdges([]byte{5, 0, 0, 0, 1}); err == nil {
+		t.Fatal("truncated batch accepted")
+	}
+	empty, err := decodeEdges(encodeEdges(nil))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("empty batch: %v %v", empty, err)
+	}
+}

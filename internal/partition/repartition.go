@@ -1,0 +1,50 @@
+package partition
+
+import (
+	"fmt"
+
+	"gluon/internal/graph"
+)
+
+// CollectEdges reassembles the global edge list from a consistent set of
+// partitions (each edge lives on exactly one host, so concatenating local
+// edges in global-ID space restores the input multiset).
+func CollectEdges(parts []*Partition) []graph.Edge {
+	var total uint64
+	for _, p := range parts {
+		total += p.Graph.NumEdges()
+	}
+	out := make([]graph.Edge, 0, total)
+	for _, p := range parts {
+		g := p.Graph
+		for u := uint32(0); u < g.NumNodes(); u++ {
+			ws := g.EdgeWeights(u)
+			for i, v := range g.Neighbors(u) {
+				e := graph.Edge{Src: p.GID(u), Dst: p.GID(v)}
+				if ws != nil {
+					e.Weight = ws[i]
+				}
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// Repartition redistributes an existing partitioning under a new policy —
+// the workflow behind the paper's §4.1 footnote: "If the graph is
+// re-partitioned, then memoization can be done soon after partitioning to
+// amortize the communication costs until the next re-partitioning."
+// Gluon instances built over the result re-run the memoization exchange.
+//
+// Field state migration is the program's concern: collect master values by
+// global ID before repartitioning and re-install them after (values are
+// policy-independent; only proxy placement changes).
+func Repartition(parts []*Partition, newPol Policy) ([]*Partition, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("partition: repartition of empty set")
+	}
+	numNodes := parts[0].GlobalNodes
+	edges := CollectEdges(parts)
+	return PartitionAll(numNodes, edges, newPol)
+}

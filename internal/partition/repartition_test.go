@@ -1,0 +1,91 @@
+package partition
+
+import (
+	"testing"
+
+	"gluon/internal/graph"
+)
+
+func TestCollectEdgesRestoresMultiset(t *testing.T) {
+	numNodes, edges, g := genEdges(t, 9)
+	opt := options(g, numNodes)
+	pol, err := NewPolicy(CVC, numNodes, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := PartitionAll(numNodes, edges, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := CollectEdges(parts)
+	if len(got) != len(edges) {
+		t.Fatalf("collected %d edges, want %d", len(got), len(edges))
+	}
+	count := func(es []graph.Edge) map[graph.Edge]int {
+		m := make(map[graph.Edge]int, len(es))
+		for _, e := range es {
+			m[e]++
+		}
+		return m
+	}
+	want := count(edges)
+	have := count(got)
+	for e, c := range want {
+		if have[e] != c {
+			t.Fatalf("edge %v: %d copies, want %d", e, have[e], c)
+		}
+	}
+}
+
+func TestRepartitionChangesPolicyPreservesGraph(t *testing.T) {
+	numNodes, edges, g := genEdges(t, 9)
+	opt := options(g, numNodes)
+	oec, err := NewPolicy(OEC, numNodes, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := PartitionAll(numNodes, edges, oec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cvc, err := NewPolicy(CVC, numNodes, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reparts, err := Repartition(parts, cvc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reparts) != 8 {
+		t.Fatalf("repartitioned into %d hosts", len(reparts))
+	}
+	var edgeSum uint64
+	for _, p := range reparts {
+		edgeSum += p.Graph.NumEdges()
+		if p.Policy.Name() != "cvc" {
+			t.Fatalf("policy %s", p.Policy.Name())
+		}
+	}
+	if edgeSum != uint64(len(edges)) {
+		t.Fatalf("edges %d, want %d", edgeSum, len(edges))
+	}
+	// Masters complete under the new policy.
+	seen := make([]int, numNodes)
+	for _, p := range reparts {
+		for lid := uint32(0); lid < p.NumMasters; lid++ {
+			seen[p.GID(lid)]++
+		}
+	}
+	for gid, c := range seen {
+		if c != 1 {
+			t.Fatalf("node %d has %d masters after repartition", gid, c)
+		}
+	}
+}
+
+func TestRepartitionEmpty(t *testing.T) {
+	pol, _ := NewPolicy(OEC, 4, 2, Options{})
+	if _, err := Repartition(nil, pol); err == nil {
+		t.Fatal("empty repartition accepted")
+	}
+}

@@ -1,0 +1,165 @@
+package ref
+
+import (
+	"math"
+	"testing"
+
+	"gluon/internal/fields"
+	"gluon/internal/generate"
+	"gluon/internal/graph"
+)
+
+func line(t *testing.T) *graph.CSR {
+	t.Helper()
+	// 0 →(1) 1 →(2) 2 →(3) 3, plus shortcut 0 →(10) 3
+	g, err := graph.FromEdges(4, []graph.Edge{
+		{Src: 0, Dst: 1, Weight: 1},
+		{Src: 1, Dst: 2, Weight: 2},
+		{Src: 2, Dst: 3, Weight: 3},
+		{Src: 0, Dst: 3, Weight: 10},
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSLine(t *testing.T) {
+	g := line(t)
+	d := BFS(g, 0)
+	want := []uint32{0, 1, 2, 1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", d, want)
+		}
+	}
+	if d2 := BFS(g, 3); d2[0] != fields.InfinityU32 {
+		t.Fatal("unreachable node got finite distance")
+	}
+}
+
+func TestSSSPLine(t *testing.T) {
+	g := line(t)
+	d := SSSP(g, 0)
+	want := []uint32{0, 1, 3, 6} // path through edges beats the shortcut 10
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestSSSPOutOfRangeSource(t *testing.T) {
+	g := line(t)
+	d := SSSP(g, 99)
+	for _, v := range d {
+		if v != fields.InfinityU32 {
+			t.Fatal("out-of-range source produced finite distances")
+		}
+	}
+}
+
+// TestBFSEqualsSSPWithUnitWeights: on a unit-weight graph the two agree.
+func TestBFSEqualsSSSPWithUnitWeights(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 3}
+	edges, _ := generate.Edges(cfg)
+	for i := range edges {
+		edges[i].Weight = 1
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := g.MaxOutDegreeNode()
+	b := BFS(g, src)
+	s := SSSP(g, src)
+	for u := range b {
+		if b[u] != s[u] {
+			t.Fatalf("node %d: bfs %d, sssp %d", u, b[u], s[u])
+		}
+	}
+}
+
+func TestCCProperties(t *testing.T) {
+	// Two components: {0,1,2} and {3,4}; edges given directed, CC treats
+	// them as undirected.
+	g, err := graph.FromEdges(5, []graph.Edge{
+		{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 4, Dst: 3},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CC(g)
+	if c[0] != 0 || c[1] != 0 || c[2] != 0 {
+		t.Fatalf("component A labels %v", c)
+	}
+	if c[3] != 3 || c[4] != 3 {
+		t.Fatalf("component B labels %v", c)
+	}
+}
+
+// TestCCLabelsAreComponentMinima on a random symmetrized graph.
+func TestCCLabelsAreComponentMinima(t *testing.T) {
+	cfg := generate.Config{Kind: "random", Scale: 9, EdgeFactor: 2, Seed: 8}
+	edges, _ := generate.Edges(cfg)
+	sym := Symmetrize(edges)
+	g, err := graph.FromEdges(cfg.NumNodes(), sym, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := CC(g)
+	// Each node's label must be <= its ID and shared with all neighbors.
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		if c[u] > u {
+			t.Fatalf("node %d label %d above own ID", u, c[u])
+		}
+		for _, v := range g.Neighbors(u) {
+			if c[u] != c[v] {
+				t.Fatalf("edge (%d,%d) across labels %d,%d", u, v, c[u], c[v])
+			}
+		}
+		// The label's node must itself carry that label (canonical).
+		if c[c[u]] != c[u] {
+			t.Fatalf("label %d not canonical", c[u])
+		}
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 9, EdgeFactor: 8, Seed: 2}
+	edges, _ := generate.Edges(cfg)
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank := PageRank(g, 0.85, 1e-10, 200)
+	for u, r := range rank {
+		if r < 0.15-1e-9 {
+			t.Fatalf("node %d rank %f below teleport mass", u, r)
+		}
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			t.Fatalf("node %d rank %f", u, r)
+		}
+	}
+	// A node with no in-edges keeps exactly the teleport mass.
+	in := g.InDegrees()
+	for u, d := range in {
+		if d == 0 {
+			if math.Abs(rank[u]-0.15) > 1e-12 {
+				t.Fatalf("dangling-in node %d rank %f", u, rank[u])
+			}
+			break
+		}
+	}
+}
+
+func TestSymmetrize(t *testing.T) {
+	edges := []graph.Edge{{Src: 1, Dst: 2, Weight: 9}}
+	sym := Symmetrize(edges)
+	if len(sym) != 2 {
+		t.Fatalf("len %d", len(sym))
+	}
+	if sym[1].Src != 2 || sym[1].Dst != 1 || sym[1].Weight != 9 {
+		t.Fatalf("reverse edge %v", sym[1])
+	}
+}

@@ -1,0 +1,204 @@
+package validate_test
+
+import (
+	"testing"
+
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/fields"
+	"gluon/internal/generate"
+	"gluon/internal/graph"
+	"gluon/internal/ref"
+	"gluon/internal/validate"
+)
+
+func testGraph(t *testing.T, weighted bool) *graph.CSR {
+	t.Helper()
+	cfg := generate.Config{Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 81, Weighted: weighted}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBFSAcceptsCorrectRejectsCorrupt(t *testing.T) {
+	g := testGraph(t, false)
+	source := g.MaxOutDegreeNode()
+	dist := ref.BFS(g, source)
+	if err := validate.BFS(g, source, dist); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+	// Corrupt one reachable non-source node in each direction.
+	victim := uint32(0)
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		if u != source && dist[u] != fields.InfinityU32 && dist[u] > 1 {
+			victim = u
+			break
+		}
+	}
+	bad := append([]uint32(nil), dist...)
+	bad[victim]++ // level too deep: loses achievability or violates an edge
+	if err := validate.BFS(g, source, bad); err == nil {
+		t.Fatal("level-too-deep accepted")
+	}
+	bad = append([]uint32(nil), dist...)
+	bad[victim]-- // level too shallow: not achievable
+	if err := validate.BFS(g, source, bad); err == nil {
+		t.Fatal("level-too-shallow accepted")
+	}
+	if err := validate.BFS(g, source, dist[:10]); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestSSSPAcceptsCorrectRejectsCorrupt(t *testing.T) {
+	g := testGraph(t, true)
+	source := g.MaxOutDegreeNode()
+	dist := ref.SSSP(g, source)
+	if err := validate.SSSP(g, source, dist); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+	victim := uint32(0)
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		if u != source && dist[u] != fields.InfinityU32 && dist[u] > 0 {
+			victim = u
+			break
+		}
+	}
+	bad := append([]uint32(nil), dist...)
+	bad[victim] += 3 // distance not witnessed / violates some edge
+	if err := validate.SSSP(g, source, bad); err == nil {
+		t.Fatal("inflated distance accepted")
+	}
+	bad = append([]uint32(nil), dist...)
+	bad[victim] = 0 // fake zero distance
+	if err := validate.SSSP(g, source, bad); err == nil {
+		t.Fatal("deflated distance accepted")
+	}
+}
+
+func TestCCAcceptsCorrectRejectsCorrupt(t *testing.T) {
+	g := testGraph(t, false)
+	sym := ref.Symmetrize(collectEdges(g))
+	symG, err := graph.FromEdges(uint64(g.NumNodes()), sym, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := ref.CC(symG)
+	if err := validate.CC(symG, comp); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+	bad := append([]uint32(nil), comp...)
+	// Split one node off its component (pick one with a neighbor).
+	for u := uint32(0); u < symG.NumNodes(); u++ {
+		if symG.OutDegree(u) > 0 && bad[u] != u {
+			bad[u] = u
+			break
+		}
+	}
+	if err := validate.CC(symG, bad); err == nil {
+		t.Fatal("split component accepted")
+	}
+}
+
+func TestPageRankAcceptsCorrectRejectsCorrupt(t *testing.T) {
+	g := testGraph(t, false)
+	rank := ref.PageRank(g, pr.Alpha, 1e-10, 300)
+	if err := validate.PageRank(g, pr.Alpha, rank, 1e-6); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+	bad := append([]float64(nil), rank...)
+	bad[3] += 0.5
+	if err := validate.PageRank(g, pr.Alpha, bad, 1e-6); err == nil {
+		t.Fatal("perturbed rank accepted")
+	}
+	bad = append([]float64(nil), rank...)
+	bad[3] = 0.01 // below teleport mass
+	if err := validate.PageRank(g, pr.Alpha, bad, 1e-6); err == nil {
+		t.Fatal("sub-teleport rank accepted")
+	}
+}
+
+func TestKCoreAcceptsCorrectRejectsCorrupt(t *testing.T) {
+	g := testGraph(t, false)
+	sym := ref.Symmetrize(collectEdges(g))
+	symG, err := graph.FromEdges(uint64(g.NumNodes()), sym, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 5
+	inCore := refPeel(symG, k)
+	if err := validate.KCore(symG, k, inCore); err != nil {
+		t.Fatalf("correct result rejected: %v", err)
+	}
+	bad := append([]bool(nil), inCore...)
+	for u := range bad {
+		if !bad[u] {
+			bad[u] = true // resurrect a peeled node
+			break
+		}
+	}
+	if err := validate.KCore(symG, k, bad); err == nil {
+		t.Fatal("resurrected node accepted")
+	}
+	bad = append([]bool(nil), inCore...)
+	for u := range bad {
+		if bad[u] {
+			bad[u] = false // kill a core member: breaks maximality
+			break
+		}
+	}
+	if err := validate.KCore(symG, k, bad); err == nil {
+		t.Fatal("under-approximated core accepted")
+	}
+}
+
+// collectEdges flattens a CSR back to an edge list.
+func collectEdges(g *graph.CSR) []graph.Edge {
+	var out []graph.Edge
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		for _, v := range g.Neighbors(u) {
+			out = append(out, graph.Edge{Src: uint64(u), Dst: uint64(v)})
+		}
+	}
+	return out
+}
+
+// refPeel is sequential peeling returning in-core flags.
+func refPeel(g *graph.CSR, k uint64) []bool {
+	n := g.NumNodes()
+	deg := make([]uint64, n)
+	for u := uint32(0); u < n; u++ {
+		deg[u] = uint64(g.OutDegree(u))
+	}
+	dead := make([]bool, n)
+	var queue []uint32
+	for u := uint32(0); u < n; u++ {
+		if deg[u] < k {
+			dead[u] = true
+			queue = append(queue, u)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if !dead[v] {
+				deg[v]--
+				if deg[v] < k {
+					dead[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	in := make([]bool, n)
+	for u := range dead {
+		in[u] = !dead[u]
+	}
+	return in
+}

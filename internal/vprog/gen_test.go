@@ -1,0 +1,154 @@
+package vprog
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"gluon/internal/gluon"
+)
+
+func ssspGenSpec() GenSpec {
+	op := SSSPOperator()
+	return GenSpec{
+		Package:  "ssspgen",
+		Operator: op,
+		Fields: []GenField{{
+			FieldUse: op.Fields[0],
+			GoType:   "uint32",
+			Op:       ReduceMin,
+			ID:       42,
+		}},
+	}
+}
+
+// TestGenerateParses: the generated source is syntactically valid Go with
+// the expected declarations.
+func TestGenerateParses(t *testing.T) {
+	src, err := Generate(ssspGenSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "gen.go", src, 0)
+	if err != nil {
+		t.Fatalf("generated code does not parse: %v\n%s", err, src)
+	}
+	if file.Name.Name != "ssspgen" {
+		t.Fatalf("package %s", file.Name.Name)
+	}
+	wantDecls := map[string]bool{
+		"DistState": false, "DistReduce": false, "DistBroadcast": false,
+	}
+	wantFuncs := map[string]bool{
+		"Extract": false, "Reduce": false, "Reset": false, "Set": false,
+		"NewDistField": false,
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.TypeSpec:
+			if _, ok := wantDecls[d.Name.Name]; ok {
+				wantDecls[d.Name.Name] = true
+			}
+		case *ast.FuncDecl:
+			if _, ok := wantFuncs[d.Name.Name]; ok {
+				wantFuncs[d.Name.Name] = true
+			}
+		}
+		return true
+	})
+	for name, seen := range wantDecls {
+		if !seen {
+			t.Errorf("generated code missing type %s", name)
+		}
+	}
+	for name, seen := range wantFuncs {
+		if !seen {
+			t.Errorf("generated code missing func %s", name)
+		}
+	}
+}
+
+// TestGenerateMinVsAddSemantics: the reduction choice shapes Reduce/Reset.
+func TestGenerateMinVsAddSemantics(t *testing.T) {
+	spec := ssspGenSpec()
+	src, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "if v < r.S.Vals[lid]") {
+		t.Error("min reduce body missing")
+	}
+	if strings.Contains(string(src), "r.S.Vals[lid] += v") {
+		t.Error("min code contains add body")
+	}
+
+	spec.Fields[0].Op = ReduceAdd
+	spec.Fields[0].GoType = "float64"
+	src, err = Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "r.S.Vals[lid] += v") {
+		t.Error("add reduce body missing")
+	}
+	if !strings.Contains(string(src), "r.S.Vals[lid] = 0") {
+		t.Error("add reset body missing")
+	}
+}
+
+// TestGenerateLocationsWired: the Field literal carries the operator's
+// write/read locations.
+func TestGenerateLocationsWired(t *testing.T) {
+	spec := ssspGenSpec()
+	spec.Fields[0].WrittenAt = gluon.AtSource
+	spec.Fields[0].ReadAt = gluon.Anywhere
+	src, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(src)
+	if !strings.Contains(s, "Write:     gluon.AtSource") {
+		t.Error("write location not wired")
+	}
+	if !strings.Contains(s, "Read:      gluon.Anywhere") {
+		t.Error("read location not wired")
+	}
+	if !strings.Contains(s, "ID:        42") {
+		t.Error("field ID not wired")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	spec := ssspGenSpec()
+	spec.Package = ""
+	if _, err := Generate(spec); err == nil {
+		t.Error("empty package accepted")
+	}
+	spec = ssspGenSpec()
+	spec.Fields[0].Op = "xor"
+	if _, err := Generate(spec); err == nil {
+		t.Error("unsupported reduction accepted")
+	}
+	spec = ssspGenSpec()
+	spec.Fields[0].GoType = "string"
+	if _, err := Generate(spec); err == nil {
+		t.Error("unsupported type accepted")
+	}
+}
+
+func TestExportName(t *testing.T) {
+	cases := map[string]string{
+		"bfs-dist":   "BfsDist",
+		"rank":       "Rank",
+		"pr_contrib": "PrContrib",
+		"":           "Field",
+	}
+	for in, want := range cases {
+		if got := exportName(in); got != want {
+			t.Errorf("exportName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

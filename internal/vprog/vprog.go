@@ -1,0 +1,188 @@
+// Package vprog models vertex programs declaratively: an operator is
+// described by its style (push/pull), the fields it touches and where, and
+// whether its updates are reductions. From that description the package
+//
+//   - decides which partitioning strategies are legal (§3.1's
+//     operator–policy interaction: "for a pull-style operator, UVC, CVC, or
+//     OEC can be used only if the update made by the operator to the active
+//     node label is a reduction; otherwise IEC must be used... For a
+//     push-style operator, UVC, CVC, or IEC can be used only if the node
+//     pushes the same value along its outgoing edges and uses a reduction
+//     to combine...; otherwise OEC must be used"), and
+//   - derives the synchronization plan for each field — which of
+//     reduce/broadcast a Gluon sync call must perform, the analysis the
+//     paper implements in a compiler for Galois (§3.3).
+//
+// The runtime equivalent of the derived plan is what gluon.Sync executes;
+// TestPlanMatchesRuntime in this package's tests checks the two agree on
+// real partitions.
+package vprog
+
+import (
+	"fmt"
+
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+)
+
+// Style classifies the operator.
+type Style int
+
+// Operator styles.
+const (
+	// Push: reads the active node's label, conditionally updates its
+	// out-neighbors.
+	Push Style = iota
+	// Pull: reads the in-neighbors' labels, conditionally updates the
+	// active node.
+	Pull
+)
+
+func (s Style) String() string {
+	if s == Push {
+		return "push"
+	}
+	return "pull"
+}
+
+// FieldUse describes one node field an operator touches.
+type FieldUse struct {
+	Name string
+	// WrittenAt / ReadAt are the edge endpoints where the operator writes
+	// and reads the field (gluon.Anywhere if never written/read).
+	WrittenAt gluon.Location
+	ReadAt    gluon.Location
+	// Reduction: remote partial updates combine associatively and
+	// commutatively (min, sum, ...). Non-reduction writes cannot be merged
+	// from multiple proxies.
+	Reduction bool
+	// SameValuePushed (push style): what the operator pushes along an
+	// outgoing edge derives only from the active node's label and that
+	// edge's own data (so any proxy holding a subset of the out-edges can
+	// perform its pushes independently). sssp pushes l(v)+weight(v,w):
+	// per-edge values, but derived purely from the label and the edge, so
+	// this holds. A counterexample would be a push depending on an
+	// aggregate over all out-edges that only the master could compute.
+	SameValuePushed bool
+}
+
+// Operator is the declarative description of a vertex operator.
+type Operator struct {
+	Name   string
+	Style  Style
+	Fields []FieldUse
+}
+
+// LegalPolicies returns the partitioning strategies the operator admits,
+// per the paper's §3.1 interaction rules.
+func LegalPolicies(op Operator) []partition.Kind {
+	constrained := false
+	for _, f := range op.Fields {
+		if f.WrittenAt == gluon.Anywhere && f.ReadAt == gluon.Anywhere {
+			continue
+		}
+		switch op.Style {
+		case Pull:
+			// Master must see all incoming edges unless updates reduce.
+			if !f.Reduction {
+				constrained = true
+			}
+		case Push:
+			// Master must own all outgoing edges unless the pushed value is
+			// uniform and combines by reduction.
+			if !f.Reduction || !f.SameValuePushed {
+				constrained = true
+			}
+		}
+	}
+	if !constrained {
+		return partition.AllKinds()
+	}
+	if op.Style == Pull {
+		return []partition.Kind{partition.IEC}
+	}
+	return []partition.Kind{partition.OEC}
+}
+
+// PolicyLegal reports whether one strategy is admissible.
+func PolicyLegal(op Operator, kind partition.Kind) bool {
+	for _, k := range LegalPolicies(op) {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Pattern is the communication a field needs in one sync call.
+type Pattern struct {
+	Field string
+	// NeedsReduce / NeedsBroadcast: which of the two basic patterns (§3.2)
+	// apply for the policy. Subsets of mirrors are chosen by the runtime
+	// from structural flags; the plan records whether subsetting applies.
+	NeedsReduce    bool
+	NeedsBroadcast bool
+	// SubsetMirrors: the pattern runs on a proper subset of mirrors (CVC);
+	// false means all mirrors participate (UVC) or the pattern is empty.
+	SubsetMirrors bool
+}
+
+// Plan derives, for each field of the operator, the §3.2 synchronization
+// pattern under the given partitioning strategy. It errors if the strategy
+// is illegal for the operator.
+func Plan(op Operator, kind partition.Kind) ([]Pattern, error) {
+	if !PolicyLegal(op, kind) {
+		return nil, fmt.Errorf("vprog: policy %s illegal for %s operator %q", kind, op.Style, op.Name)
+	}
+	var out []Pattern
+	for _, f := range op.Fields {
+		p := Pattern{Field: f.Name}
+		switch kind {
+		case partition.OEC:
+			// Mirrors have only incoming edges: writable, never read.
+			p.NeedsReduce = f.WrittenAt == gluon.AtDestination
+			p.NeedsBroadcast = f.ReadAt == gluon.AtDestination // only in-side proxies read
+			if f.ReadAt == gluon.AtSource {
+				p.NeedsBroadcast = false // sources are masters under OEC
+			}
+			if f.WrittenAt == gluon.AtSource {
+				p.NeedsReduce = false // sources are masters; no mirror writes
+			}
+		case partition.IEC:
+			// Mirrors have only outgoing edges: readable, never written.
+			p.NeedsReduce = f.WrittenAt == gluon.AtSource
+			p.NeedsBroadcast = f.ReadAt == gluon.AtSource
+			if f.WrittenAt == gluon.AtDestination {
+				p.NeedsReduce = false
+			}
+			if f.ReadAt == gluon.AtDestination {
+				p.NeedsBroadcast = false
+			}
+		case partition.CVC:
+			p.NeedsReduce = true
+			p.NeedsBroadcast = true
+			p.SubsetMirrors = true
+		default: // unconstrained vertex cuts
+			p.NeedsReduce = true
+			p.NeedsBroadcast = true
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SSSPOperator describes the paper's running example (push-style
+// relaxation): useful as a template and in tests.
+func SSSPOperator() Operator {
+	return Operator{
+		Name:  "sssp-relax",
+		Style: Push,
+		Fields: []FieldUse{{
+			Name:            "dist",
+			WrittenAt:       gluon.AtDestination,
+			ReadAt:          gluon.AtSource,
+			Reduction:       true, // min
+			SameValuePushed: true, // l(v)+weight: label + edge-local data
+		}},
+	}
+}

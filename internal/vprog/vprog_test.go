@@ -1,0 +1,178 @@
+package vprog
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"gluon/internal/comm"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/graph"
+	"gluon/internal/partition"
+)
+
+// pullPR is the paper's pull-pagerank shape: contributions reduce at the
+// active node (a sum), ranks are read at sources.
+func pullPR() Operator {
+	return Operator{
+		Name:  "pr-pull",
+		Style: Pull,
+		Fields: []FieldUse{
+			{Name: "contrib", WrittenAt: gluon.AtDestination, ReadAt: gluon.AtDestination, Reduction: true},
+			{Name: "rank", WrittenAt: gluon.AtDestination, ReadAt: gluon.AtSource, Reduction: true, SameValuePushed: true},
+		},
+	}
+}
+
+// nonReducingPull models a pull operator whose update is order-dependent
+// (e.g. overwriting with the first in-neighbor's value).
+func nonReducingPull() Operator {
+	return Operator{
+		Name:  "first-wins",
+		Style: Pull,
+		Fields: []FieldUse{
+			{Name: "label", WrittenAt: gluon.AtDestination, ReadAt: gluon.AtSource, Reduction: false},
+		},
+	}
+}
+
+// aggregatePush models a push operator whose pushed value needs an
+// aggregate only the master has.
+func aggregatePush() Operator {
+	return Operator{
+		Name:  "agg-push",
+		Style: Push,
+		Fields: []FieldUse{
+			{Name: "x", WrittenAt: gluon.AtDestination, ReadAt: gluon.AtSource, Reduction: true, SameValuePushed: false},
+		},
+	}
+}
+
+// TestLegalityMatrix encodes §3.1's operator–policy interaction.
+func TestLegalityMatrix(t *testing.T) {
+	cases := []struct {
+		op   Operator
+		want []partition.Kind
+	}{
+		{SSSPOperator(), partition.AllKinds()},
+		{pullPR(), partition.AllKinds()},
+		{nonReducingPull(), []partition.Kind{partition.IEC}},
+		{aggregatePush(), []partition.Kind{partition.OEC}},
+	}
+	for _, c := range cases {
+		got := LegalPolicies(c.op)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: legal = %v, want %v", c.op.Name, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: legal = %v, want %v", c.op.Name, got, c.want)
+			}
+		}
+	}
+	if PolicyLegal(nonReducingPull(), partition.CVC) {
+		t.Fatal("CVC accepted for non-reducing pull")
+	}
+	if !PolicyLegal(SSSPOperator(), partition.HVC) {
+		t.Fatal("HVC rejected for sssp")
+	}
+}
+
+// TestPlanPerPolicy encodes §3.2's pattern table for a push-style field.
+func TestPlanPerPolicy(t *testing.T) {
+	op := SSSPOperator()
+	cases := map[partition.Kind]Pattern{
+		partition.OEC: {Field: "dist", NeedsReduce: true, NeedsBroadcast: false},
+		partition.IEC: {Field: "dist", NeedsReduce: false, NeedsBroadcast: true},
+		partition.CVC: {Field: "dist", NeedsReduce: true, NeedsBroadcast: true, SubsetMirrors: true},
+		partition.HVC: {Field: "dist", NeedsReduce: true, NeedsBroadcast: true},
+	}
+	for kind, want := range cases {
+		plans, err := Plan(op, kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if len(plans) != 1 || plans[0] != want {
+			t.Fatalf("%s: plan %+v, want %+v", kind, plans[0], want)
+		}
+	}
+}
+
+func TestPlanRejectsIllegal(t *testing.T) {
+	if _, err := Plan(nonReducingPull(), partition.OEC); err == nil {
+		t.Fatal("illegal plan accepted")
+	}
+}
+
+// TestPlanMatchesRuntime: the statically derived plan agrees with what the
+// runtime substrate actually does on real partitions — for each policy,
+// the plan's NeedsReduce/NeedsBroadcast matches whether any host has
+// non-empty reduce/broadcast pair lists for the field's locations.
+func TestPlanMatchesRuntime(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 8, EdgeFactor: 8, Seed: 31}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(cfg.NumNodes(), edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, cfg.NumNodes())
+	for u := uint32(0); u < g.NumNodes(); u++ {
+		out[u] = g.OutDegree(u)
+	}
+	popt := partition.Options{OutDegrees: out, InDegrees: g.InDegrees()}
+	op := SSSPOperator()
+	field := op.Fields[0]
+
+	for _, kind := range partition.AllKinds() {
+		t.Run(string(kind), func(t *testing.T) {
+			pol, err := partition.NewPolicy(kind, cfg.NumNodes(), 4, popt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts, err := partition.PartitionAll(cfg.NumNodes(), edges, pol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hub := comm.NewHub(4)
+			defer hub.Close()
+			gs := make([]*gluon.Gluon, 4)
+			var wg sync.WaitGroup
+			for h := 0; h < 4; h++ {
+				wg.Add(1)
+				go func(h int) {
+					defer wg.Done()
+					gg, err := gluon.New(parts[h], hub.Endpoint(h), gluon.Opt())
+					if err != nil {
+						panic(fmt.Sprintf("host %d: %v", h, err))
+					}
+					gs[h] = gg
+				}(h)
+			}
+			wg.Wait()
+
+			anyReduce, anyBcast := false, false
+			for _, gg := range gs {
+				if gg.ReduceNeeded(field.WrittenAt) {
+					anyReduce = true
+				}
+				if gg.BroadcastNeeded(field.ReadAt) {
+					anyBcast = true
+				}
+			}
+			plans, err := Plan(op, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plans[0].NeedsReduce != anyReduce {
+				t.Errorf("plan reduce=%v, runtime=%v", plans[0].NeedsReduce, anyReduce)
+			}
+			if plans[0].NeedsBroadcast != anyBcast {
+				t.Errorf("plan broadcast=%v, runtime=%v", plans[0].NeedsBroadcast, anyBcast)
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package worklist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// PriorityExecutor processes work in ascending priority buckets —
+// delta-stepping-style scheduling (Meyer & Sanders), the discipline
+// Galois' ordered worklists approximate for sssp. All items of bucket b
+// (including items pushed back into b while it drains) are processed
+// before bucket b+1 opens, which avoids most of the wasted relaxations a
+// FIFO worklist performs on weighted graphs.
+type PriorityExecutor struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+	// MaxBucket bounds the priority space; pushes beyond it clamp into the
+	// final bucket. 0 means 1024.
+	MaxBucket int
+}
+
+// Run processes initial items (at their given priorities), plus pushed
+// items, bucket by bucket. op receives the item and a push function taking
+// (item, priority); pushes to the current or earlier buckets are processed
+// in the current wave. Returns the number of operator applications.
+func (e *PriorityExecutor) Run(initial []uint32, priorities []int, op func(item uint32, push func(uint32, int))) uint64 {
+	maxBucket := e.MaxBucket
+	if maxBucket <= 0 {
+		maxBucket = 1024
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	buckets := make([]*Bag, maxBucket+1)
+	for i := range buckets {
+		buckets[i] = &Bag{}
+	}
+	clamp := func(p int) int {
+		if p < 0 {
+			p = 0
+		}
+		if p > maxBucket {
+			p = maxBucket
+		}
+		return p
+	}
+	// pending[b] counts items of bucket b not yet fully processed.
+	pending := make([]atomic.Int64, maxBucket+1)
+	byBucket := make(map[int][]uint32)
+	for i, item := range initial {
+		b := clamp(priorities[i])
+		byBucket[b] = append(byBucket[b], item)
+	}
+	for b, items := range byBucket {
+		pending[b].Add(int64(len(items)))
+		for lo := 0; lo < len(items); lo += ChunkSize {
+			hi := lo + ChunkSize
+			if hi > len(items) {
+				hi = len(items)
+			}
+			chunk := make([]uint32, hi-lo)
+			copy(chunk, items[lo:hi])
+			buckets[b].PushChunk(chunk)
+		}
+	}
+
+	var applied atomic.Uint64
+	for cur := 0; cur <= maxBucket; cur++ {
+		if pending[cur].Load() == 0 {
+			continue
+		}
+		cur := cur
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				local := make(map[int][]uint32, 4)
+				flush := func() {
+					for b, items := range local {
+						if len(items) > 0 {
+							buckets[b].PushChunk(items)
+						}
+						delete(local, b)
+					}
+				}
+				push := func(item uint32, prio int) {
+					b := clamp(prio)
+					if b < cur {
+						b = cur // earlier-bucket pushes join the current wave
+					}
+					pending[b].Add(1)
+					local[b] = append(local[b], item)
+					if len(local[b]) >= ChunkSize {
+						buckets[b].PushChunk(local[b])
+						local[b] = nil
+					}
+				}
+				for {
+					chunk := buckets[cur].PopChunk()
+					if chunk == nil {
+						flush()
+						if pending[cur].Load() == 0 {
+							return
+						}
+						runtime.Gosched()
+						continue
+					}
+					for _, item := range chunk {
+						op(item, push)
+						applied.Add(1)
+						pending[cur].Add(-1)
+					}
+					flush()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return applied.Load()
+}

@@ -1,0 +1,141 @@
+// Package worklist provides the chunked parallel worklist backing the
+// Galois-style asynchronous engine. Work items (node IDs) are held in
+// fixed-size chunks; workers pop chunks from a shared bag, process items,
+// and push newly generated items into a worker-local chunk that is flushed
+// to the bag when full. Processing continues until no items remain anywhere,
+// so updates generated inside a round are consumed in the same round — the
+// "asynchronous within a host" behaviour the paper credits for D-Galois
+// needing fewer BSP rounds than level-synchronous systems.
+package worklist
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the number of items per chunk. Chunks amortize bag
+// synchronization; 128 matches Galois' default order of magnitude.
+const ChunkSize = 128
+
+// Bag is an unordered pool of uint32 work items supporting concurrent
+// chunked push/pop. The zero value is an empty bag ready for use.
+type Bag struct {
+	mu     sync.Mutex
+	chunks [][]uint32
+}
+
+// PushChunk adds a chunk of items to the bag. The bag takes ownership.
+func (b *Bag) PushChunk(chunk []uint32) {
+	if len(chunk) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.chunks = append(b.chunks, chunk)
+	b.mu.Unlock()
+}
+
+// PopChunk removes and returns a chunk, or nil if the bag is empty.
+func (b *Bag) PopChunk() []uint32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.chunks)
+	if n == 0 {
+		return nil
+	}
+	c := b.chunks[n-1]
+	b.chunks = b.chunks[:n-1]
+	return c
+}
+
+// Empty reports whether the bag currently has no chunks.
+func (b *Bag) Empty() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.chunks) == 0
+}
+
+// Len returns the total number of items across all chunks.
+func (b *Bag) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	total := 0
+	for _, c := range b.chunks {
+		total += len(c)
+	}
+	return total
+}
+
+// Executor runs operator applications over a Bag until quiescence.
+type Executor struct {
+	// Workers is the worker-pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run processes every item in initial, plus every item pushed during
+// processing, using op. op receives the item and a push function that
+// schedules more work in the same invocation (push is only safe to call
+// from inside op, on the worker that received it). Run returns the number
+// of operator applications performed and blocks until the worklist is
+// fully drained (local quiescence).
+//
+// Termination is tracked by a precise pending-item counter: an item counts
+// as pending from the moment it is pushed until its operator application
+// finishes, so pending==0 means no work exists anywhere.
+func (e *Executor) Run(initial []uint32, op func(item uint32, push func(uint32))) uint64 {
+	bag := &Bag{}
+	var pending atomic.Int64
+	pending.Store(int64(len(initial)))
+	for lo := 0; lo < len(initial); lo += ChunkSize {
+		hi := lo + ChunkSize
+		if hi > len(initial) {
+			hi = len(initial)
+		}
+		chunk := make([]uint32, hi-lo)
+		copy(chunk, initial[lo:hi])
+		bag.PushChunk(chunk)
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	var applied atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]uint32, 0, ChunkSize)
+			push := func(item uint32) {
+				pending.Add(1)
+				local = append(local, item)
+				if len(local) >= ChunkSize {
+					bag.PushChunk(local)
+					local = make([]uint32, 0, ChunkSize)
+				}
+			}
+			for {
+				chunk := bag.PopChunk()
+				if chunk == nil {
+					if pending.Load() == 0 {
+						return
+					}
+					runtime.Gosched()
+					continue
+				}
+				for _, item := range chunk {
+					op(item, push)
+					applied.Add(1)
+					pending.Add(-1)
+				}
+				if len(local) > 0 {
+					bag.PushChunk(local)
+					local = make([]uint32, 0, ChunkSize)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return applied.Load()
+}
