@@ -1,0 +1,34 @@
+# Development targets. `make check` is the required gate before sending
+# changes: formatting, vet, a full build, and the race detector over every
+# package (the sync pipeline overlaps encode workers with the receive loop,
+# so gluon and comm must always pass under -race).
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench sync-bench
+
+check: fmt vet build race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Sync hot-path microbenchmark (BenchmarkSyncHotPath) straight from go test.
+bench:
+	$(GO) test -run=NONE -bench=SyncHotPath -benchmem ./internal/gluon/
+
+# Regenerate the BENCH_sync.json snapshot at the pinned parameters.
+sync-bench:
+	$(GO) run ./cmd/gluon-bench -sync-json BENCH_sync.json -scale 12 -edgefactor 8 -seed 7 -workers 0

@@ -37,6 +37,7 @@ func main() {
 		prTol   = flag.Float64("pr-tol", 1e-6, "pagerank tolerance")
 		netLat  = flag.Duration("net-latency", 50*time.Microsecond, "simulated per-message link latency (0 disables)")
 		netBW   = flag.Float64("net-bandwidth", 50e6, "simulated link bandwidth, bytes/s (0 = infinite)")
+		syncOut = flag.String("sync-json", "", "run the sync hot-path microbenchmark and write JSON to this file (\"-\" for stdout), then exit")
 	)
 	flag.Parse()
 
@@ -54,6 +55,22 @@ func main() {
 	}
 	if p.Devices, err = parseInts(*devices); err != nil {
 		fatal(err)
+	}
+
+	if *syncOut != "" {
+		out := os.Stdout
+		if *syncOut != "-" {
+			f, err := os.Create(*syncOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := bench.WriteSyncBenchJSON(out, p); err != nil {
+			fatal(fmt.Errorf("sync-json: %w", err))
+		}
+		return
 	}
 
 	type experiment struct {

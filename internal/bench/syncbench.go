@@ -1,0 +1,216 @@
+package bench
+
+// Sync hot-path snapshot: the same measurement as BenchmarkSyncHotPath in
+// internal/gluon, exported through gluon-bench as machine-readable JSON
+// (BENCH_sync.json at the repo root) so successive PRs have a perf
+// trajectory to compare against. One result per encoding mode × host
+// count: wall time, bytes allocated, and allocations per full cluster-wide
+// Sync (every host encodes, ships, receives, and applies one round).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"gluon/internal/bitset"
+	"gluon/internal/comm"
+	"gluon/internal/fields"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+)
+
+// SyncBenchResult is one sync hot-path measurement.
+type SyncBenchResult struct {
+	Hosts       int    `json:"hosts"`
+	Encoding    string `json:"encoding"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// SyncBenchReport is the BENCH_sync.json document.
+type SyncBenchReport struct {
+	Graph   string            `json:"graph"`
+	Workers int               `json:"sync_workers"`
+	Results []SyncBenchResult `json:"results"`
+}
+
+// syncBenchCluster mirrors the BenchmarkSyncHotPath fixture through the
+// public API: per-host substrates over a CVC partitioning with a uint32
+// min/set field, updates on every fifth proxy.
+type syncBenchCluster struct {
+	parts  []*partition.Partition
+	gs     []*gluon.Gluon
+	labels [][]uint32
+	upds   []*bitset.Bitset
+	close  func()
+}
+
+func newSyncBenchCluster(p Params, hosts int, opt gluon.Options) (*syncBenchCluster, error) {
+	cfg := generate.Config{Kind: "rmat", Scale: p.Scale, EdgeFactor: p.EdgeFactor, Seed: p.Seed}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		return nil, err
+	}
+	numNodes := cfg.NumNodes()
+	outDeg := make([]uint32, numNodes)
+	inDeg := make([]uint32, numNodes)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+	pol, err := partition.NewPolicy(partition.CVC, numNodes, hosts,
+		partition.Options{OutDegrees: outDeg, InDegrees: inDeg})
+	if err != nil {
+		return nil, err
+	}
+	parts, err := partition.PartitionAll(numNodes, edges, pol)
+	if err != nil {
+		return nil, err
+	}
+	hub := comm.NewHub(hosts)
+	c := &syncBenchCluster{parts: parts, close: hub.Close}
+	c.gs = make([]*gluon.Gluon, hosts)
+	c.labels = make([][]uint32, hosts)
+	c.upds = make([]*bitset.Bitset, hosts)
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			c.gs[h], errs[h] = gluon.New(parts[h], hub.Endpoint(h), opt)
+		}(h)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			hub.Close()
+			return nil, err
+		}
+	}
+	for h := 0; h < hosts; h++ {
+		c.labels[h] = make([]uint32, parts[h].NumProxies())
+		for i := range c.labels[h] {
+			c.labels[h][i] = fields.InfinityU32
+		}
+		c.upds[h] = bitset.New(parts[h].NumProxies())
+	}
+	return c, nil
+}
+
+func (c *syncBenchCluster) markUpdates(round int) {
+	for h := range c.gs {
+		c.upds[h].Reset()
+		n := c.parts[h].NumProxies()
+		for i := uint32(0); i < n; i += 5 {
+			c.upds[h].SetUnsync(i)
+			c.labels[h][i] = uint32(round)
+		}
+	}
+}
+
+func (c *syncBenchCluster) syncAll() error {
+	errs := make([]error, len(c.gs))
+	var wg sync.WaitGroup
+	for h := range c.gs {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			f := gluon.Field[uint32]{
+				ID:        90,
+				Name:      "syncbench",
+				Write:     gluon.AtDestination,
+				Read:      gluon.AtSource,
+				Reduce:    fields.MinU32{Labels: c.labels[h]},
+				Broadcast: fields.SetU32{Labels: c.labels[h]},
+			}
+			errs[h] = gluon.Sync(c.gs[h], f, c.upds[h])
+		}(h)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SyncBench measures the sync hot path per encoding mode × host count.
+func SyncBench(p Params) (*SyncBenchReport, error) {
+	encodings := []struct {
+		name string
+		opt  gluon.Options
+	}{
+		{"auto", gluon.Opt()},
+		{"dense", withEncoding(gluon.EncodingDense)},
+		{"bitvec", withEncoding(gluon.EncodingBitvec)},
+		{"indices", withEncoding(gluon.EncodingIndices)},
+		{"unopt", gluon.Unopt()},
+	}
+	rep := &SyncBenchReport{
+		Graph:   fmt.Sprintf("rmat scale=%d ef=%d seed=%d cvc", p.Scale, p.EdgeFactor, p.Seed),
+		Workers: p.Workers,
+	}
+	for _, hosts := range []int{2, 8} {
+		for _, e := range encodings {
+			opt := e.opt
+			opt.SyncWorkers = p.Workers
+			c, err := newSyncBenchCluster(p, hosts, opt)
+			if err != nil {
+				return nil, fmt.Errorf("sync bench hosts=%d %s: %w", hosts, e.name, err)
+			}
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				// Warm one round so memoization and pools are primed.
+				c.markUpdates(0)
+				if err := c.syncAll(); err != nil {
+					benchErr = err
+					b.SkipNow()
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.markUpdates(i + 1)
+					if err := c.syncAll(); err != nil {
+						benchErr = err
+						b.SkipNow()
+					}
+				}
+			})
+			c.close()
+			if benchErr != nil {
+				return nil, fmt.Errorf("sync bench hosts=%d %s: %w", hosts, e.name, benchErr)
+			}
+			rep.Results = append(rep.Results, SyncBenchResult{
+				Hosts:       hosts,
+				Encoding:    e.name,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+		}
+	}
+	return rep, nil
+}
+
+func withEncoding(enc gluon.Encoding) gluon.Options {
+	opt := gluon.Opt()
+	opt.ForceEncoding = enc
+	return opt
+}
+
+// WriteSyncBenchJSON runs SyncBench and writes the report as indented JSON.
+func WriteSyncBenchJSON(w io.Writer, p Params) error {
+	rep, err := SyncBench(p)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,88 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refIntersect is the per-lid scan OrderMask replaces.
+func refIntersect(order []uint32, upd *Bitset, positions, members []uint32) ([]uint32, []uint32) {
+	for pos, lid := range order {
+		if upd.Test(lid) {
+			positions = append(positions, uint32(pos))
+			members = append(members, lid)
+		}
+	}
+	return positions, members
+}
+
+func TestOrderMaskMatchesPerLidScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := uint32(1 + rng.Intn(500))
+		// Random strictly ascending order over [0, n).
+		var order []uint32
+		for lid := uint32(0); lid < n; lid++ {
+			if rng.Intn(3) == 0 {
+				order = append(order, lid)
+			}
+		}
+		upd := New(n)
+		for lid := uint32(0); lid < n; lid++ {
+			if rng.Intn(2) == 0 {
+				upd.Set(lid)
+			}
+		}
+		m := NewOrderMask(order)
+		if m == nil {
+			t.Fatalf("trial %d: ascending order rejected", trial)
+		}
+		if m.Len() != uint32(len(order)) {
+			t.Fatalf("trial %d: Len %d != %d", trial, m.Len(), len(order))
+		}
+		wantPos, wantMem := refIntersect(order, upd, nil, nil)
+		gotPos, gotMem := m.IntersectAppend(upd, nil, nil)
+		if len(gotPos) != len(wantPos) || len(gotMem) != len(wantMem) {
+			t.Fatalf("trial %d: got %d/%d entries, want %d/%d",
+				trial, len(gotPos), len(gotMem), len(wantPos), len(wantMem))
+		}
+		for i := range wantPos {
+			if gotPos[i] != wantPos[i] || gotMem[i] != wantMem[i] {
+				t.Fatalf("trial %d entry %d: got (%d,%d), want (%d,%d)",
+					trial, i, gotPos[i], gotMem[i], wantPos[i], wantMem[i])
+			}
+		}
+	}
+}
+
+func TestOrderMaskAppendsToPrefix(t *testing.T) {
+	order := []uint32{2, 5, 64, 130}
+	upd := New(200)
+	upd.Set(5)
+	upd.Set(130)
+	m := NewOrderMask(order)
+	pos := []uint32{99}
+	mem := []uint32{98}
+	pos, mem = m.IntersectAppend(upd, pos, mem)
+	if len(pos) != 3 || pos[0] != 99 || mem[0] != 98 {
+		t.Fatalf("prefix clobbered: pos=%v mem=%v", pos, mem)
+	}
+	if pos[1] != 1 || mem[1] != 5 || pos[2] != 3 || mem[2] != 130 {
+		t.Fatalf("wrong entries: pos=%v mem=%v", pos, mem)
+	}
+}
+
+func TestOrderMaskRejectsUnsorted(t *testing.T) {
+	if NewOrderMask([]uint32{3, 1}) != nil {
+		t.Fatal("descending order accepted")
+	}
+	if NewOrderMask([]uint32{1, 1}) != nil {
+		t.Fatal("duplicate order accepted")
+	}
+	if NewOrderMask(nil) == nil {
+		t.Fatal("empty order rejected")
+	}
+	if got, _ := NewOrderMask(nil).IntersectAppend(New(10), nil, nil); len(got) != 0 {
+		t.Fatalf("empty mask produced %d entries", len(got))
+	}
+}

@@ -1,0 +1,66 @@
+package comm
+
+// The process-wide payload buffer pool backing the transport release
+// contract (see Transport). Senders build messages in GetBuf buffers; the
+// party that finishes with a buffer — the TCP sender after its wire copy,
+// the receiver of an in-process message after decoding — returns it with
+// PutBuf. Buffers are pooled in power-of-two size classes so one giant
+// message cannot pin memory for every small one that follows.
+
+import (
+	"math/bits"
+	"sync"
+)
+
+const (
+	// minBufClass is the smallest pooled class, 1<<minBufClass bytes.
+	minBufClass = 6
+	// maxBufClass caps pooled buffers at 1<<maxBufClass bytes; larger
+	// buffers are allocated and collected normally.
+	maxBufClass = 30
+)
+
+var bufPools [maxBufClass + 1]sync.Pool
+
+// GetBuf returns a byte slice of length n, reusing a pooled buffer when one
+// is available. The contents are unspecified: callers must overwrite every
+// byte they send. n <= 0 returns nil.
+func GetBuf(n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	class := bufClass(n)
+	if class > maxBufClass {
+		return make([]byte, n)
+	}
+	if b, ok := bufPools[class].Get().(*[]byte); ok && b != nil {
+		return (*b)[:n]
+	}
+	return make([]byte, n, 1<<class)
+}
+
+// PutBuf returns a buffer to the pool. Callers must not touch the slice (or
+// any alias of it) afterwards. Nil, tiny, and oversized buffers are dropped.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minBufClass {
+		return
+	}
+	// File under the largest class the capacity fully covers, so GetBuf's
+	// length request is always within capacity.
+	class := bits.Len(uint(c)) - 1
+	if class > maxBufClass {
+		return
+	}
+	b = b[:c]
+	bufPools[class].Put(&b)
+}
+
+// bufClass returns the smallest class whose buffers hold n bytes.
+func bufClass(n int) int {
+	class := bits.Len(uint(n - 1))
+	if class < minBufClass {
+		class = minBufClass
+	}
+	return class
+}

@@ -14,6 +14,7 @@ package comm
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,22 +63,42 @@ const (
 
 // Transport is a reliable, ordered (per sender/tag pair) point-to-point
 // message layer between NumHosts hosts.
+//
+// Payload ownership and release contract: ownership of the buffer passed to
+// Send transfers to the transport — callers must not read or modify it
+// afterwards. A transport that copies the payload onto a wire inside Send
+// (TCP) releases the buffer back to the payload pool (PutBuf) before
+// returning; a zero-copy transport (in-process) hands the same buffer to the
+// receiver, whose Recv/RecvAny caller assumes ownership and should release
+// it with PutBuf once decoded. Build payloads with GetBuf and the steady
+// state is allocation-free end to end; buffers from make() simply join the
+// pool. Custom Transport implementations must honor the same contract.
 type Transport interface {
 	// HostID returns this endpoint's rank in [0, NumHosts).
 	HostID() int
 	// NumHosts returns the number of hosts in the communicator.
 	NumHosts() int
 	// Send delivers payload to host `to` under `tag`. The payload is owned
-	// by the transport after Send returns; callers must not modify it.
-	// Sending to self is allowed and loops back.
+	// by the transport after Send returns (see the release contract above);
+	// callers must not touch it. Sending to self is allowed and loops back.
 	Send(to int, tag Tag, payload []byte) error
 	// Recv blocks until a message with the given tag arrives from host
-	// `from`, and returns its payload.
+	// `from`, and returns its payload. The caller owns the returned buffer
+	// and should release it with PutBuf when done decoding.
 	Recv(from int, tag Tag) ([]byte, error)
+	// RecvAny blocks until a message with the given tag is available from
+	// any of the listed peers, and returns the sender's rank alongside the
+	// payload (owned by the caller, like Recv). A nil peer list matches any
+	// sender. Per-(sender, tag) FIFO order is preserved: for each sender,
+	// RecvAny always returns that sender's oldest pending message for the
+	// tag. When several peers have deliverable messages, the one that
+	// became deliverable earliest wins, so receivers drain messages in
+	// arrival order rather than rank order.
+	RecvAny(tag Tag, from []int) (int, []byte, error)
 	// Stats returns cumulative transport-level counters for this endpoint.
 	Stats() Stats
-	// Close releases resources. Further Sends fail; pending Recvs unblock
-	// with an error.
+	// Close releases resources. Further Sends fail; pending Recvs and
+	// RecvAnys unblock with an error.
 	Close() error
 }
 
@@ -142,6 +163,23 @@ func (m *mailbox) putAt(from int, tag Tag, payload []byte, readyAt time.Time) {
 	m.cond.Broadcast()
 }
 
+// sleepUntil waits until the modeled delivery deadline t. In-flight delays
+// under NetModel are typically tens of microseconds, far below the parked
+// runtime timer resolution (~1ms on Linux), so a bare time.Sleep would
+// quantize every modeled hop up to the timer tick and swamp the model.
+// Sleep off all but the last stretch, then yield-spin the remainder: the
+// spin yields the processor every iteration, so it never starves runnable
+// work, and it only burns otherwise-idle cycles.
+func sleepUntil(t time.Time) {
+	const spin = 200 * time.Microsecond
+	if d := time.Until(t); d > spin {
+		time.Sleep(d - spin)
+	}
+	for time.Now().Before(t) {
+		runtime.Gosched()
+	}
+}
+
 func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 	k := mailKey{from, tag}
 	m.mu.Lock()
@@ -155,7 +193,7 @@ func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 				// consumes them, but another Recv on the same key could
 				// take it, so loop).
 				m.mu.Unlock()
-				time.Sleep(wait)
+				sleepUntil(e.readyAt)
 				m.mu.Lock()
 				continue
 			}
@@ -170,6 +208,68 @@ func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 		if m.closed {
 			m.mu.Unlock()
 			return nil, fmt.Errorf("comm: transport closed while waiting for tag %#x from host %d", tag, from)
+		}
+		m.cond.Wait()
+	}
+}
+
+// getAny returns the next deliverable message with the given tag from any
+// of the listed peers (nil = any sender), preferring the message whose
+// modeled delivery completes earliest. Per-(sender, tag) FIFO order is
+// preserved because only queue heads are considered.
+func (m *mailbox) getAny(tag Tag, peers []int) (int, []byte, error) {
+	m.mu.Lock()
+	for {
+		// Find the queue head with the earliest readiness time.
+		from := -1
+		var readyAt time.Time
+		consider := func(k mailKey) {
+			q := m.queues[k]
+			if len(q) == 0 {
+				return
+			}
+			if from < 0 || q[0].readyAt.Before(readyAt) {
+				from, readyAt = k.from, q[0].readyAt
+			}
+		}
+		if peers == nil {
+			for k := range m.queues {
+				if k.tag == tag {
+					consider(k)
+				}
+			}
+		} else {
+			for _, p := range peers {
+				consider(mailKey{p, tag})
+			}
+		}
+		if from >= 0 {
+			if wait := time.Until(readyAt); wait > 0 {
+				// The earliest known message is still in modeled flight.
+				// Sleep it off without holding the lock, then re-scan (the
+				// same mechanism as get). A message sent later with a
+				// shorter modeled delay is simply delivered on the next
+				// scan — delivery order between senders is best-effort,
+				// only per-(sender, tag) FIFO is guaranteed.
+				m.mu.Unlock()
+				sleepUntil(readyAt)
+				m.mu.Lock()
+				continue
+			}
+			k := mailKey{from, tag}
+			q := m.queues[k]
+			e := q[0]
+			if len(q) == 1 {
+				delete(m.queues, k)
+			} else {
+				m.queues[k] = q[1:]
+			}
+			m.mu.Unlock()
+			return from, e.payload, nil
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return -1, nil, fmt.Errorf("comm: transport closed while waiting for tag %#x from any peer", tag)
 		}
 		m.cond.Wait()
 	}

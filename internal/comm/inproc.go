@@ -110,6 +110,10 @@ func (e *inprocEndpoint) Recv(from int, tag Tag) ([]byte, error) {
 	return e.mbox.get(from, tag)
 }
 
+func (e *inprocEndpoint) RecvAny(tag Tag, from []int) (int, []byte, error) {
+	return e.mbox.getAny(tag, from)
+}
+
 func (e *inprocEndpoint) Stats() Stats { return e.ctr.snapshot() }
 
 func (e *inprocEndpoint) Close() error {

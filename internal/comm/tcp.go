@@ -141,7 +141,7 @@ func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 		}
 		tag := Tag(binary.LittleEndian.Uint32(hdr[0:]))
 		length := binary.LittleEndian.Uint32(hdr[4:])
-		payload := make([]byte, length)
+		payload := GetBuf(int(length))
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
@@ -176,21 +176,32 @@ func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
 		return fmt.Errorf("comm: endpoint closed")
 	}
 	conn := e.conns[to]
-	buf := make([]byte, tcpHeaderLen+len(payload))
+	n := len(payload)
+	buf := GetBuf(tcpHeaderLen + n)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(tag))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
 	copy(buf[tcpHeaderLen:], payload)
-	if _, err := conn.Write(buf); err != nil {
+	_, err := conn.Write(buf)
+	PutBuf(buf)
+	// The payload has been copied onto the wire: release it per the
+	// Transport contract so pooled sender buffers are reclaimed here.
+	PutBuf(payload)
+	if err != nil {
 		return fmt.Errorf("comm: send to host %d: %w", to, err)
 	}
 	e.ctr.msgsSent.Add(1)
-	e.ctr.bytesSent.Add(uint64(len(payload)))
+	e.ctr.bytesSent.Add(uint64(n))
 	return nil
 }
 
 // Recv implements Transport.
 func (e *TCPEndpoint) Recv(from int, tag Tag) ([]byte, error) {
 	return e.mbox.get(from, tag)
+}
+
+// RecvAny implements Transport.
+func (e *TCPEndpoint) RecvAny(tag Tag, from []int) (int, []byte, error) {
+	return e.mbox.getAny(tag, from)
 }
 
 // Stats implements Transport.

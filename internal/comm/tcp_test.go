@@ -86,16 +86,19 @@ func TestTCPLargePayload(t *testing.T) {
 	for i := range payload {
 		payload[i] = byte(i * 31)
 	}
+	// Send owns (and may pool) the payload once called; compare against a copy.
+	want := make([]byte, len(payload))
+	copy(want, payload)
 	go eps[0].Send(1, TagUser, payload)
 	got, err := eps[1].Recv(0, TagUser)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(payload) {
+	if len(got) != len(want) {
 		t.Fatalf("length %d", len(got))
 	}
 	for i := range got {
-		if got[i] != payload[i] {
+		if got[i] != want[i] {
 			t.Fatalf("byte %d differs", i)
 		}
 	}

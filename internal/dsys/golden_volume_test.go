@@ -1,0 +1,179 @@
+package dsys_test
+
+import (
+	"hash/fnv"
+	"sync/atomic"
+	"testing"
+
+	"gluon/internal/algorithms/bfs"
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/comm"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+)
+
+// TestGoldenCommVolumes pins the communication behavior of the Figure 10
+// workloads: total bytes, encoding-mode counts, message counts, and a hash
+// over every message's (src, dst, tag, len, payload). The golden numbers
+// were captured from a serial, fixed-order sync; the pipelined sync path
+// (parallel per-peer encode, any-order receive with rank-order reduce
+// folds, pooled buffers, word-level update scans) must reproduce them
+// byte-for-byte — the whole point of the rework is that only time and
+// allocations change, never what goes on the wire.
+//
+// The payload hash is folded with a commutative add, so message *ordering*
+// is free to vary; the bytes of each individual message are not. Note this
+// hash covers payload contents, which for PageRank depend on the reduce
+// fold order at masters (float sums are not associative): it pins not just
+// the codec but the deterministic rank-order application of reduce
+// messages.
+
+// hashingTransport wraps a Transport and folds a digest of every sent
+// message into acc. RecvAny and the rest of the interface pass through.
+type hashingTransport struct {
+	comm.Transport
+	acc *atomic.Uint64
+}
+
+func (h hashingTransport) Send(to int, tag comm.Tag, payload []byte) error {
+	f := fnv.New64a()
+	var hdr [16]byte
+	put32 := func(off int, v uint32) {
+		hdr[off] = byte(v)
+		hdr[off+1] = byte(v >> 8)
+		hdr[off+2] = byte(v >> 16)
+		hdr[off+3] = byte(v >> 24)
+	}
+	put32(0, uint32(h.Transport.HostID()))
+	put32(4, uint32(to))
+	put32(8, uint32(tag))
+	put32(12, uint32(len(payload)))
+	f.Write(hdr[:])
+	f.Write(payload)
+	h.acc.Add(f.Sum64()) // commutative fold: send order is irrelevant
+	return h.Transport.Send(to, tag, payload)
+}
+
+type goldenRow struct {
+	alg     string
+	policy  partition.Kind
+	config  string
+	rounds  int
+	bytes   uint64
+	modes   [5]uint64
+	msgs    uint64
+	payload uint64
+}
+
+// Captured at rmat scale 10, edge factor 8, seed 42, 8 hosts, MaxRounds 50,
+// bfs.NewLigra(0, 1) / pr.NewLigra(1e-6, 1).
+var goldenRows = []goldenRow{
+	{"bfs", "cvc", "unopt", 5, 52748, [5]uint64{0, 0, 0, 0, 352}, 352, 0x722355fad0d35cb6},
+	{"bfs", "cvc", "osi", 5, 45996, [5]uint64{0, 0, 0, 0, 192}, 192, 0xbe5c2782a5f46785},
+	{"bfs", "cvc", "oti", 5, 18848, [5]uint64{219, 36, 76, 21, 0}, 352, 0x24888c61e4a4e0e8},
+	{"bfs", "cvc", "osti", 5, 16412, [5]uint64{76, 38, 60, 18, 0}, 192, 0x526fa21e920e8ba8},
+	{"bfs", "oec", "unopt", 5, 72776, [5]uint64{0, 0, 0, 0, 616}, 616, 0xc355fdf58fbccb4d},
+	{"bfs", "oec", "osi", 5, 56736, [5]uint64{0, 0, 0, 0, 336}, 336, 0xe8aaa4232a2d6cca},
+	{"bfs", "oec", "oti", 5, 26484, [5]uint64{353, 65, 169, 29, 0}, 616, 0xd141b65bb27d735c},
+	{"bfs", "oec", "osti", 5, 19920, [5]uint64{171, 80, 71, 14, 0}, 336, 0x2dea4801d782dc70},
+	{"pr", "cvc", "unopt", 50, 2024960, [5]uint64{0, 0, 0, 0, 3296}, 3296, 0x1cb43be18329e75b},
+	{"pr", "cvc", "osi", 50, 1534784, [5]uint64{0, 0, 0, 0, 1680}, 1680, 0x797ecb8dc6ce90ac},
+	{"pr", "cvc", "oti", 50, 1020744, [5]uint64{1200, 1434, 662, 0, 0}, 3296, 0xef4281e2804f3fe8},
+	{"pr", "cvc", "osti", 50, 777492, [5]uint64{0, 1027, 653, 0, 0}, 1680, 0xd799d786856a65db},
+	{"pr", "oec", "unopt", 50, 3828008, [5]uint64{0, 0, 0, 0, 5768}, 5768, 0x314de107c0446434},
+	{"pr", "oec", "osi", 50, 1896792, [5]uint64{0, 0, 0, 0, 2856}, 2856, 0x225e694fe84a2efa},
+	{"pr", "oec", "oti", 50, 1906688, [5]uint64{0, 5760, 8, 0, 0}, 5768, 0x553db223da572d21},
+	{"pr", "oec", "osti", 50, 944112, [5]uint64{0, 2856, 0, 0, 0}, 2856, 0x8f887b1f2e1cafcb},
+}
+
+func goldenOpt(config string) gluon.Options {
+	return gluon.Options{
+		StructuralInvariants: config == "osi" || config == "osti",
+		TemporalInvariance:   config == "oti" || config == "osti",
+	}
+}
+
+func TestGoldenCommVolumes(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 42}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numNodes := cfg.NumNodes()
+	outDeg := make([]uint32, numNodes)
+	inDeg := make([]uint32, numNodes)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+	popt := partition.Options{OutDegrees: outDeg, InDegrees: inDeg}
+
+	// Partition once per policy; the per-config runs share the parts.
+	parts := map[partition.Kind][]*partition.Partition{}
+	for _, kind := range []partition.Kind{partition.CVC, partition.OEC} {
+		pol, err := partition.NewPolicy(kind, numNodes, 8, popt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := partition.PartitionAll(numNodes, edges, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[kind] = p
+	}
+
+	for _, row := range goldenRows {
+		row := row
+		t.Run(row.alg+"/"+string(row.policy)+"/"+row.config, func(t *testing.T) {
+			if testing.Short() && row.alg == "pr" {
+				t.Skip("pr golden runs are slow; skipped under -short")
+			}
+			var factory dsys.ProgramFactory
+			switch row.alg {
+			case "bfs":
+				factory = bfs.NewLigra(0, 1)
+			case "pr":
+				factory = pr.NewLigra(1e-6, 1)
+			}
+			var acc atomic.Uint64
+			p := parts[row.policy]
+			hub := comm.NewHub(len(p))
+			defer hub.Close()
+			ts := make([]comm.Transport, len(p))
+			for i, e := range hub.Endpoints() {
+				ts[i] = hashingTransport{Transport: e, acc: &acc}
+			}
+			res, err := dsys.RunWithTransports(p, ts, dsys.RunConfig{
+				Hosts: 8, Policy: row.policy, Opt: goldenOpt(row.config), MaxRounds: 50,
+			}, factory)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var modes [5]uint64
+			var msgs uint64
+			for _, h := range res.Hosts {
+				for i := range modes {
+					modes[i] += h.Gluon.ModeCounts[i]
+				}
+				msgs += h.Gluon.MessagesSent
+			}
+			if res.Rounds != row.rounds {
+				t.Errorf("rounds = %d, golden %d", res.Rounds, row.rounds)
+			}
+			if res.TotalCommBytes != row.bytes {
+				t.Errorf("TotalCommBytes = %d, golden %d", res.TotalCommBytes, row.bytes)
+			}
+			if modes != row.modes {
+				t.Errorf("ModeCounts = %v, golden %v", modes, row.modes)
+			}
+			if msgs != row.msgs {
+				t.Errorf("MessagesSent = %d, golden %d", msgs, row.msgs)
+			}
+			if got := acc.Load(); got != row.payload {
+				t.Errorf("payload hash = %#x, golden %#x (per-message bytes changed)", got, row.payload)
+			}
+		})
+	}
+}

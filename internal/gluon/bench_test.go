@@ -59,11 +59,15 @@ func BenchmarkEncodeSparse(b *testing.B) {
 		}
 		return dst
 	}
+	mask := bitset.NewOrderMask(order)
+	sc := &encodeScratch{}
+	var st Stats
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		payload, _ := encodeMsg(g, order, upd, extract)
+		payload, _ := encodeMsg(g, order, mask, upd, extract, sc, &st)
 		b.SetBytes(int64(len(payload)))
+		comm.PutBuf(payload)
 	}
 }
 
@@ -76,11 +80,15 @@ func BenchmarkEncodeDense(b *testing.B) {
 		}
 		return dst
 	}
+	mask := bitset.NewOrderMask(order)
+	sc := &encodeScratch{}
+	var st Stats
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		payload, _ := encodeMsg(g, order, nil, extract)
+		payload, _ := encodeMsg(g, order, mask, nil, extract, sc, &st)
 		b.SetBytes(int64(len(payload)))
+		comm.PutBuf(payload)
 	}
 }
 
@@ -93,7 +101,8 @@ func BenchmarkDecode(b *testing.B) {
 		}
 		return dst
 	}
-	payload, _ := encodeMsg(g, order, upd, extract)
+	var st Stats
+	payload, _ := encodeMsg(g, order, bitset.NewOrderMask(order), upd, extract, &encodeScratch{}, &st)
 	b.ResetTimer()
 	b.ReportAllocs()
 	b.SetBytes(int64(len(payload)))

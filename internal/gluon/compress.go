@@ -10,11 +10,12 @@ package gluon
 // dense/bitvec/indices choice still minimizes the pre-compression size.
 
 import (
-	"bytes"
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"gluon/internal/comm"
 )
 
 // modeCompressed wraps any other mode's payload in a deflate stream.
@@ -22,10 +23,13 @@ const modeCompressed byte = 5
 
 const defaultCompressThreshold = 1024
 
-// maybeCompress wraps payload if the options ask for it and it helps.
-// Stats are adjusted by the bytes saved (attributed to metadata, since
-// values and metadata are interleaved post-compression).
-func (g *Gluon) maybeCompress(payload []byte) []byte {
+// maybeCompress wraps payload if the options ask for it and it helps. When
+// it does, the input payload is released back to the buffer pool and the
+// returned payload is a fresh pooled buffer; otherwise the input passes
+// through untouched. Stats are adjusted on st by the bytes saved
+// (attributed to metadata, since values and metadata are interleaved
+// post-compression).
+func (g *Gluon) maybeCompress(payload []byte, st *Stats) []byte {
 	if !g.Opt.Compress || !g.Opt.TemporalInvariance {
 		return payload
 	}
@@ -36,63 +40,81 @@ func (g *Gluon) maybeCompress(payload []byte) []byte {
 	if len(payload) < threshold {
 		return payload
 	}
-	var buf bytes.Buffer
-	buf.WriteByte(modeCompressed)
+	c := compressorPool.Get().(*compressor)
+	defer compressorPool.Put(c)
+	c.buf.Reset()
+	c.buf.WriteByte(modeCompressed)
 	var lenHdr [4]byte
 	binary.LittleEndian.PutUint32(lenHdr[:], uint32(len(payload)))
-	buf.Write(lenHdr[:])
-	// flate.BestSpeed: messages are latency-sensitive; level 1 already
-	// captures most of the redundancy in packed label arrays.
-	w, err := flate.NewWriter(&buf, flate.BestSpeed)
-	if err != nil {
-		return payload // cannot happen with a valid level; fail open
+	c.buf.Write(lenHdr[:])
+	if c.w == nil {
+		// flate.BestSpeed: messages are latency-sensitive; level 1 already
+		// captures most of the redundancy in packed label arrays.
+		w, err := flate.NewWriter(&c.buf, flate.BestSpeed)
+		if err != nil {
+			return payload // cannot happen with a valid level; fail open
+		}
+		c.w = w
+	} else {
+		c.w.Reset(&c.buf)
 	}
-	if _, err := w.Write(payload); err != nil {
+	if _, err := c.w.Write(payload); err != nil {
 		return payload
 	}
-	if err := w.Close(); err != nil {
+	if err := c.w.Close(); err != nil {
 		return payload
 	}
-	if buf.Len() >= len(payload) {
+	if c.buf.Len() >= len(payload) {
 		return payload // incompressible; send as-is
 	}
-	saved := uint64(len(payload) - buf.Len())
-	g.stats.CompressedMessages++
-	g.stats.CompressionSaved += saved
+	saved := uint64(len(payload) - c.buf.Len())
+	st.CompressedMessages++
+	st.CompressionSaved += saved
 	// The wire carries fewer bytes than the encoder accounted; correct the
 	// split by shrinking metadata first, then values.
-	if g.stats.MetadataBytes >= saved {
-		g.stats.MetadataBytes -= saved
+	if st.MetadataBytes >= saved {
+		st.MetadataBytes -= saved
 	} else {
-		rem := saved - g.stats.MetadataBytes
-		g.stats.MetadataBytes = 0
-		if g.stats.ValueBytes >= rem {
-			g.stats.ValueBytes -= rem
+		rem := saved - st.MetadataBytes
+		st.MetadataBytes = 0
+		if st.ValueBytes >= rem {
+			st.ValueBytes -= rem
 		} else {
-			g.stats.ValueBytes = 0
+			st.ValueBytes = 0
 		}
 	}
-	return buf.Bytes()
+	out := comm.GetBuf(c.buf.Len())
+	copy(out, c.buf.Bytes())
+	comm.PutBuf(payload)
+	return out
 }
 
 // maybeDecompress unwraps a compressed payload; other payloads pass
-// through.
-func maybeDecompress(payload []byte) ([]byte, error) {
+// through. pooled reports whether out is a fresh pool buffer the caller
+// must release with comm.PutBuf (the input payload is never consumed).
+func maybeDecompress(payload []byte) (out []byte, pooled bool, err error) {
 	if len(payload) == 0 || payload[0] != modeCompressed {
-		return payload, nil
+		return payload, false, nil
 	}
 	if len(payload) < 5 {
-		return nil, fmt.Errorf("short compressed message")
+		return nil, false, fmt.Errorf("short compressed message")
 	}
 	want := binary.LittleEndian.Uint32(payload[1:])
 	if want > 1<<30 {
-		return nil, fmt.Errorf("implausible decompressed size %d", want)
+		return nil, false, fmt.Errorf("implausible decompressed size %d", want)
 	}
-	r := flate.NewReader(bytes.NewReader(payload[5:]))
-	defer r.Close()
-	out := make([]byte, want)
-	if _, err := io.ReadFull(r, out); err != nil {
-		return nil, fmt.Errorf("decompress: %w", err)
+	inf := inflatorPool.Get().(*inflator)
+	defer inflatorPool.Put(inf)
+	inf.br.Reset(payload[5:])
+	if inf.fr == nil {
+		inf.fr = flate.NewReader(&inf.br)
+	} else if err := inf.fr.(flate.Resetter).Reset(&inf.br, nil); err != nil {
+		return nil, false, fmt.Errorf("decompress: %w", err)
 	}
-	return out, nil
+	out = comm.GetBuf(int(want))
+	if _, err := io.ReadFull(inf.fr, out); err != nil {
+		comm.PutBuf(out)
+		return nil, false, fmt.Errorf("decompress: %w", err)
+	}
+	return out, true, nil
 }

@@ -26,7 +26,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
+	"gluon/internal/bitset"
 	"gluon/internal/comm"
 	"gluon/internal/partition"
 )
@@ -67,6 +69,10 @@ type Options struct {
 	// CompressThreshold is the minimum payload size to compress
 	// (0 = 1 KiB).
 	CompressThreshold int
+	// SyncWorkers caps how many goroutines encode per-peer sync messages
+	// in parallel (0 = one per CPU, 1 = serial encoding). Message bytes
+	// are identical at any setting; only time changes.
+	SyncWorkers int
 }
 
 // Unopt returns the baseline configuration with both optimizations off.
@@ -77,6 +83,29 @@ func Opt() Options {
 	return Options{StructuralInvariants: true, TemporalInvariance: true}
 }
 
+// orderSet is a family of per-peer memoized exchange orders together with
+// their word-level masks: masks[h], when non-nil, is the bitset.OrderMask
+// of lists[h], computed once at memoization time so the sync hot path can
+// intersect an order against the updated bitset a word at a time.
+type orderSet struct {
+	lists [][]uint32
+	masks []*bitset.OrderMask
+}
+
+// newOrderSet wraps per-peer order lists, building a mask for every
+// non-empty list. Orders that are not strictly lid-ascending (possible
+// only if a partition ever broke the GID-sorted layout) get a nil mask and
+// fall back to per-lid scans.
+func newOrderSet(lists [][]uint32) orderSet {
+	masks := make([]*bitset.OrderMask, len(lists))
+	for h, l := range lists {
+		if len(l) > 0 {
+			masks[h] = bitset.NewOrderMask(l)
+		}
+	}
+	return orderSet{lists: lists, masks: masks}
+}
+
 // Gluon is one host's communication substrate instance.
 type Gluon struct {
 	Part *partition.Partition
@@ -85,20 +114,31 @@ type Gluon struct {
 
 	// Memoized exchange orders (§4.1), all in agreed (GID-ascending) order.
 	//
-	// mirrors[h]: local IDs of my mirror proxies whose master is on host h.
-	// masters[h]: local IDs of my master proxies that have a mirror on h,
-	// positionally aligned with h's mirrors[me].
-	mirrors [][]uint32
-	masters [][]uint32
+	// mirrors.lists[h]: local IDs of my mirror proxies whose master is on
+	// host h. masters.lists[h]: local IDs of my master proxies that have a
+	// mirror on h, positionally aligned with h's mirrors.lists[me].
+	mirrors orderSet
+	masters orderSet
 
 	// Structural-invariant subsets (§3.2). mirrorsIn/mastersIn restrict to
 	// proxies whose mirror has incoming local edges (can be written by a
 	// write-at-destination operator); mirrorsOut/mastersOut to mirrors with
 	// outgoing edges (will be read by a read-at-source operator).
-	mirrorsIn, mirrorsOut [][]uint32
-	mastersIn, mastersOut [][]uint32
+	mirrorsIn, mirrorsOut orderSet
+	mastersIn, mastersOut orderSet
 
-	stats Stats
+	// stats is guarded by statsMu: parallel encode workers fold their
+	// local counters in on join, and the sync receive loop runs
+	// concurrently with the senders.
+	statsMu sync.Mutex
+	stats   Stats
+}
+
+// foldStats merges a worker's local counters into the shared stats.
+func (g *Gluon) foldStats(st *Stats) {
+	g.statsMu.Lock()
+	g.stats = g.stats.Add(*st)
+	g.statsMu.Unlock()
 }
 
 // New builds the substrate for one host and performs the memoization
@@ -130,12 +170,12 @@ func (g *Gluon) memoize() error {
 	n := p.NumHosts
 
 	byOwner := p.MirrorGIDsByOwner()
-	g.mirrors = make([][]uint32, n)
-	g.mirrorsIn = make([][]uint32, n)
-	g.mirrorsOut = make([][]uint32, n)
-	g.masters = make([][]uint32, n)
-	g.mastersIn = make([][]uint32, n)
-	g.mastersOut = make([][]uint32, n)
+	mirrors := make([][]uint32, n)
+	mirrorsIn := make([][]uint32, n)
+	mirrorsOut := make([][]uint32, n)
+	masters := make([][]uint32, n)
+	mastersIn := make([][]uint32, n)
+	mastersOut := make([][]uint32, n)
 
 	// Send to each peer: count, gids, then per-mirror in/out flag bytes.
 	for h := 0; h < n; h++ {
@@ -164,13 +204,13 @@ func (g *Gluon) memoize() error {
 			payload[off+8] = flags
 			off += 9
 		}
-		g.mirrors[h] = lids
+		mirrors[h] = lids
 		for _, lid := range lids {
 			if p.HasIn.Test(lid) {
-				g.mirrorsIn[h] = append(g.mirrorsIn[h], lid)
+				mirrorsIn[h] = append(mirrorsIn[h], lid)
 			}
 			if p.HasOut.Test(lid) {
-				g.mirrorsOut[h] = append(g.mirrorsOut[h], lid)
+				mirrorsOut[h] = append(mirrorsOut[h], lid)
 			}
 		}
 		if err := g.T.Send(h, comm.TagMemo, payload); err != nil {
@@ -188,7 +228,7 @@ func (g *Gluon) memoize() error {
 		}
 		cnt := binary.LittleEndian.Uint32(payload)
 		off := 4
-		g.masters[h] = make([]uint32, cnt)
+		masters[h] = make([]uint32, cnt)
 		for i := uint32(0); i < cnt; i++ {
 			gid := binary.LittleEndian.Uint64(payload[off:])
 			flags := payload[off+8]
@@ -197,16 +237,23 @@ func (g *Gluon) memoize() error {
 			if !ok || !p.IsMaster(lid) {
 				return fmt.Errorf("gluon: host %d: peer %d claims mirror of gid %d which is not my master", me, h, gid)
 			}
-			g.masters[h][i] = lid
+			masters[h][i] = lid
 			if flags&1 != 0 {
-				g.mastersIn[h] = append(g.mastersIn[h], lid)
+				mastersIn[h] = append(mastersIn[h], lid)
 			}
 			if flags&2 != 0 {
-				g.mastersOut[h] = append(g.mastersOut[h], lid)
+				mastersOut[h] = append(mastersOut[h], lid)
 			}
 		}
+		comm.PutBuf(payload)
 	}
-	g.stats.MemoProxies = countAll(g.mirrors) + countAll(g.masters)
+	g.mirrors = newOrderSet(mirrors)
+	g.mirrorsIn = newOrderSet(mirrorsIn)
+	g.mirrorsOut = newOrderSet(mirrorsOut)
+	g.masters = newOrderSet(masters)
+	g.mastersIn = newOrderSet(mastersIn)
+	g.mastersOut = newOrderSet(mastersOut)
+	g.stats.MemoProxies = countAll(mirrors) + countAll(masters)
 	return nil
 }
 
@@ -236,11 +283,17 @@ func (g *Gluon) AllReduceSum(val uint64) (uint64, error) { return comm.AllReduce
 func (g *Gluon) AllReduceMax(val uint64) (uint64, error) { return comm.AllReduceMax(g.T, val) }
 
 // Stats returns a snapshot of the substrate's communication counters.
-func (g *Gluon) Stats() Stats { return g.stats }
+func (g *Gluon) Stats() Stats {
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
+	return g.stats
+}
 
 // ResetStats zeroes the communication counters (partition-time counters
 // like MemoProxies are preserved).
 func (g *Gluon) ResetStats() {
+	g.statsMu.Lock()
+	defer g.statsMu.Unlock()
 	memo := g.stats.MemoProxies
 	g.stats = Stats{MemoProxies: memo}
 }
@@ -249,10 +302,12 @@ func (g *Gluon) ResetStats() {
 func (g *Gluon) MirrorCount() uint32 { return g.Part.NumProxies() - g.Part.NumMasters }
 
 // peersForReduce returns, for the given write location, the per-peer mirror
-// lists this host must send during a reduce and the per-peer master lists it
-// receives into, honoring or ignoring structural invariants per Options.
-func (g *Gluon) peersForReduce(write Location) (sendMirrors, recvMasters [][]uint32) {
-	if !g.Opt.StructuralInvariants {
+// orders this host must send during a reduce and the per-peer master orders
+// it receives into, honoring or ignoring structural invariants per the
+// explicit flag (callers pass g.Opt.StructuralInvariants except for full
+// reconciliations like BroadcastAll).
+func (g *Gluon) peersForReduce(write Location, structural bool) (sendMirrors, recvMasters orderSet) {
+	if !structural {
 		return g.mirrors, g.masters
 	}
 	switch write {
@@ -266,10 +321,10 @@ func (g *Gluon) peersForReduce(write Location) (sendMirrors, recvMasters [][]uin
 }
 
 // peersForBroadcast returns, for the given read location, the per-peer
-// master lists this host sends during a broadcast and the mirror lists it
+// master orders this host sends during a broadcast and the mirror orders it
 // receives into.
-func (g *Gluon) peersForBroadcast(read Location) (sendMasters, recvMirrors [][]uint32) {
-	if !g.Opt.StructuralInvariants {
+func (g *Gluon) peersForBroadcast(read Location, structural bool) (sendMasters, recvMirrors orderSet) {
+	if !structural {
 		return g.masters, g.mirrors
 	}
 	switch read {
@@ -286,14 +341,14 @@ func (g *Gluon) peersForBroadcast(read Location) (sendMasters, recvMirrors [][]u
 // field's read location, any broadcast communication exists for this host
 // pair set. The distributed runners use it to skip no-op phases.
 func (g *Gluon) BroadcastNeeded(read Location) bool {
-	send, recv := g.peersForBroadcast(read)
-	return countAll(send)+countAll(recv) > 0
+	send, recv := g.peersForBroadcast(read, g.Opt.StructuralInvariants)
+	return countAll(send.lists)+countAll(recv.lists) > 0
 }
 
 // ReduceNeeded is the reduce-side analogue of BroadcastNeeded.
 func (g *Gluon) ReduceNeeded(write Location) bool {
-	send, recv := g.peersForReduce(write)
-	return countAll(send)+countAll(recv) > 0
+	send, recv := g.peersForReduce(write, g.Opt.StructuralInvariants)
+	return countAll(send.lists)+countAll(recv.lists) > 0
 }
 
 // Partners reports how many peers this host exchanges field values with
@@ -302,16 +357,16 @@ func (g *Gluon) ReduceNeeded(write Location) bool {
 // hosts while OPT broadcasts to at most 7"): structural invariants shrink
 // the partner sets, CVC bounds them to a grid row/column.
 func (g *Gluon) Partners(write, read Location) (reducePeers, broadcastPeers int) {
-	sendMirrors, recvMasters := g.peersForReduce(write)
-	sendMasters, recvMirrors := g.peersForBroadcast(read)
+	sendMirrors, recvMasters := g.peersForReduce(write, g.Opt.StructuralInvariants)
+	sendMasters, recvMirrors := g.peersForBroadcast(read, g.Opt.StructuralInvariants)
 	for h := 0; h < g.NumHosts(); h++ {
 		if h == g.HostID() {
 			continue
 		}
-		if len(sendMirrors[h]) > 0 || len(recvMasters[h]) > 0 {
+		if len(sendMirrors.lists[h]) > 0 || len(recvMasters.lists[h]) > 0 {
 			reducePeers++
 		}
-		if len(sendMasters[h]) > 0 || len(recvMirrors[h]) > 0 {
+		if len(sendMasters.lists[h]) > 0 || len(recvMirrors.lists[h]) > 0 {
 			broadcastPeers++
 		}
 	}
@@ -326,8 +381,8 @@ func (g *Gluon) VerifyMemoization() error {
 		if h == p.HostID {
 			continue
 		}
-		if !sort.SliceIsSorted(g.mirrors[h], func(a, b int) bool {
-			return p.GID(g.mirrors[h][a]) < p.GID(g.mirrors[h][b])
+		if !sort.SliceIsSorted(g.mirrors.lists[h], func(a, b int) bool {
+			return p.GID(g.mirrors.lists[h][a]) < p.GID(g.mirrors.lists[h][b])
 		}) {
 			return fmt.Errorf("gluon: host %d: mirrors[%d] not in GID order", p.HostID, h)
 		}

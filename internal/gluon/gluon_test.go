@@ -73,8 +73,8 @@ func TestMemoizationAlignment(t *testing.T) {
 					if a == b {
 						continue
 					}
-					mirrors := gs[a].mirrors[b]
-					masters := gs[b].masters[a]
+					mirrors := gs[a].mirrors.lists[b]
+					masters := gs[b].masters.lists[a]
 					if len(mirrors) != len(masters) {
 						t.Fatalf("pair (%d,%d): %d mirrors vs %d masters", a, b, len(mirrors), len(masters))
 					}
@@ -86,13 +86,13 @@ func TestMemoizationAlignment(t *testing.T) {
 						}
 					}
 					// Structural subsets align too.
-					for i := range gs[a].mirrorsIn[b] {
-						if gs[a].Part.GID(gs[a].mirrorsIn[b][i]) != gs[b].Part.GID(gs[b].mastersIn[a][i]) {
+					for i := range gs[a].mirrorsIn.lists[b] {
+						if gs[a].Part.GID(gs[a].mirrorsIn.lists[b][i]) != gs[b].Part.GID(gs[b].mastersIn.lists[a][i]) {
 							t.Fatalf("pair (%d,%d): mirrorsIn misaligned at %d", a, b, i)
 						}
 					}
-					for i := range gs[a].mirrorsOut[b] {
-						if gs[a].Part.GID(gs[a].mirrorsOut[b][i]) != gs[b].Part.GID(gs[b].mastersOut[a][i]) {
+					for i := range gs[a].mirrorsOut.lists[b] {
+						if gs[a].Part.GID(gs[a].mirrorsOut.lists[b][i]) != gs[b].Part.GID(gs[b].mastersOut.lists[a][i]) {
 							t.Fatalf("pair (%d,%d): mirrorsOut misaligned at %d", a, b, i)
 						}
 					}
@@ -147,10 +147,10 @@ func TestCVCSubsetsAreProper(t *testing.T) {
 	gs := buildCluster(t, partition.CVC, 4, Opt())
 	var full, inSub, outSub int
 	for _, g := range gs {
-		for h := range g.mirrors {
-			full += len(g.mirrors[h])
-			inSub += len(g.mirrorsIn[h])
-			outSub += len(g.mirrorsOut[h])
+		for h := range g.mirrors.lists {
+			full += len(g.mirrors.lists[h])
+			inSub += len(g.mirrorsIn.lists[h])
+			outSub += len(g.mirrorsOut.lists[h])
 		}
 	}
 	if inSub >= full || outSub >= full {
@@ -255,7 +255,7 @@ func TestEncodeDecodeRoundTripModes(t *testing.T) {
 					want[uint32(i)] = v
 				}
 			}
-			payload, sent := encodeMsg(g, order, upd, gatherU32(func(lid uint32) uint32 { return vals[lid] }))
+			payload, sent := encodeForTest(g, order, upd, gatherU32(func(lid uint32) uint32 { return vals[lid] }))
 			if c.updated != nil && len(sent) < len(c.updated) {
 				t.Fatalf("sent %d lids, want at least %d", len(sent), len(c.updated))
 			}
@@ -307,13 +307,13 @@ func TestEncodeModeSelection(t *testing.T) {
 	// Unique-lid order over a larger fake proxy space is not available on
 	// this tiny partition, so test mode selection through payload size
 	// directly with the 4-proxy order repeated: updated=nil forces dense.
-	payload, _ := encodeMsg(g, order, nil, extract)
+	payload, _ := encodeForTest(g, order, nil, extract)
 	if payload[0] != modeDense {
 		t.Fatalf("nil updated: mode %d, want dense", payload[0])
 	}
 	// No updates: empty.
 	empty := bitset.New(uint32(g.Part.NumProxies()))
-	payload, _ = encodeMsg(g, order[:16], empty, extract)
+	payload, _ = encodeForTest(g, order[:16], empty, extract)
 	if payload[0] != modeEmpty || len(payload) != 1 {
 		t.Fatalf("no updates: mode %d len %d", payload[0], len(payload))
 	}
@@ -325,7 +325,7 @@ func TestEncodeModeSelection(t *testing.T) {
 	for len(bigOrder) < 256 {
 		bigOrder = append(bigOrder, uniq...)
 	}
-	payload, _ = encodeMsg(g, bigOrder, one, extract)
+	payload, _ = encodeForTest(g, bigOrder, one, extract)
 	if payload[0] != modeBitvec && payload[0] != modeIndices {
 		t.Fatalf("sparse updates: mode %d, want bitvec or indices", payload[0])
 	}
@@ -339,7 +339,7 @@ func TestUnoptUsesGIDPairs(t *testing.T) {
 	upd := bitset.New(g.Part.NumProxies())
 	upd.SetUnsync(1)
 	upd.SetUnsync(3)
-	payload, sent := encodeMsg(g, order, upd, gatherU32(func(lid uint32) uint32 { return lid * 10 }))
+	payload, sent := encodeForTest(g, order, upd, gatherU32(func(lid uint32) uint32 { return lid * 10 }))
 	if payload[0] != modeGIDs {
 		t.Fatalf("mode %d, want gid-pairs", payload[0])
 	}
@@ -375,7 +375,7 @@ func TestDecodeRejectsCorruptMessages(t *testing.T) {
 		}
 	}
 	// Indices out of range.
-	payload, _ := encodeMsg(g, order, func() *bitset.Bitset {
+	payload, _ := encodeForTest(g, order, func() *bitset.Bitset {
 		b := bitset.New(g.Part.NumProxies())
 		b.SetUnsync(0)
 		return b
@@ -403,7 +403,7 @@ func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 				want[i] = vals[i]
 			}
 		}
-		payload, _ := encodeMsg(g, order, upd, gatherU64(func(lid uint32) uint64 { return vals[lid] }))
+		payload, _ := encodeForTest(g, order, upd, gatherU64(func(lid uint32) uint64 { return vals[lid] }))
 		got := map[uint32]uint64{}
 		if err := decodeMsg(g, payload, order, func(lid uint32, v uint64) { got[lid] = v }); err != nil {
 			return false
@@ -424,7 +424,7 @@ func TestQuickEncodeDecodeRoundTrip(t *testing.T) {
 func TestStatsAccounting(t *testing.T) {
 	g := fakeGluon(t, Opt())
 	order := []uint32{0, 1, 2, 3}
-	encodeMsg(g, order, nil, gatherU32(func(lid uint32) uint32 { return 0 }))
+	encodeForTest(g, order, nil, gatherU32(func(lid uint32) uint32 { return 0 }))
 	s := g.Stats()
 	if s.MessagesSent != 1 || s.ModeCounts[modeDense] != 1 {
 		t.Fatalf("stats %+v", s)
@@ -483,6 +483,16 @@ func TestNewRejectsMismatchedTransport(t *testing.T) {
 	if _, err := New(parts[1], hub.Endpoint(0), Opt()); err == nil {
 		t.Fatal("mismatched host IDs accepted")
 	}
+}
+
+// encodeForTest drives encodeMsg the way the sync path does — order mask,
+// fresh scratch, worker-local stats folded into the instance — so codec
+// tests exercise the production configuration without pooling.
+func encodeForTest[V Value](g *Gluon, order []uint32, upd *bitset.Bitset, gather func([]uint32, []V) []V) ([]byte, []uint32) {
+	var st Stats
+	payload, sent := encodeMsg(g, order, bitset.NewOrderMask(order), upd, gather, &encodeScratch{}, &st)
+	g.foldStats(&st)
+	return payload, sent
 }
 
 // gatherU32 adapts a per-lid extractor into the bulk gather form encodeMsg

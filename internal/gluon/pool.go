@@ -1,0 +1,127 @@
+package gluon
+
+// Scratch pools for the sync hot path. Steady-state syncs reuse, per
+// worker: the position/sent index slices and gathered-value slice built
+// during encoding, the DEFLATE compressor and its staging buffer, the
+// DEFLATE reader used for decompression, and (via comm.GetBuf/PutBuf) every
+// payload buffer. Pools are package-level because Gluon instances of many
+// hosts share one process in the in-memory cluster.
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"sync"
+)
+
+// encodeScratch holds one encoder's reusable buffers. A worker checks one
+// out for its whole chunk of peers; the slices grow to the largest message
+// encoded and stay that size.
+type encodeScratch struct {
+	positions []uint32
+	sent      []uint32
+	// vals caches the gathered-value slice. It is typed any because the
+	// value type is a per-call generic parameter; scratchVals re-types it
+	// and replaces it when a differently-typed field syncs.
+	vals any
+}
+
+var encodeScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
+
+func getEncodeScratch() *encodeScratch   { return encodeScratchPool.Get().(*encodeScratch) }
+func putEncodeScratch(sc *encodeScratch) { encodeScratchPool.Put(sc) }
+
+// scratchVals returns a length-n value slice backed by the scratch,
+// allocating only when the cached slice is missing, too small, or of a
+// different value type.
+func scratchVals[V Value](sc *encodeScratch, n int) []V {
+	if vs, ok := sc.vals.([]V); ok && cap(vs) >= n {
+		return vs[:n]
+	}
+	c := n
+	if c < 256 {
+		c = 256
+	}
+	vs := make([]V, n, c)
+	sc.vals = vs
+	return vs
+}
+
+// peerScratch holds the per-sync peer work lists: the send and receive
+// peer sets, the mutable remaining-peer set RecvAny consumes, and the
+// per-host staging slots the reduce path parks early arrivals in.
+type peerScratch struct {
+	send, recv, rem []int
+	stages          []*decodeStage
+	errCh           chan error
+}
+
+var peerScratchPool = sync.Pool{New: func() any { return new(peerScratch) }}
+
+func getPeerScratch() *peerScratch   { return peerScratchPool.Get().(*peerScratch) }
+func putPeerScratch(ps *peerScratch) { peerScratchPool.Put(ps) }
+
+// errChan returns the scratch's reusable one-slot error channel for the
+// send-side goroutine join. It is empty whenever the scratch is pooled: the
+// success path always drains it, and error paths leak the scratch instead
+// of pooling it.
+func (ps *peerScratch) errChan() chan error {
+	if ps.errCh == nil {
+		ps.errCh = make(chan error, 1)
+	}
+	return ps.errCh
+}
+
+// hostStages returns the per-host staging slot array, nil-cleared, sized to
+// the host count.
+func (ps *peerScratch) hostStages(hosts int) []*decodeStage {
+	if cap(ps.stages) < hosts {
+		ps.stages = make([]*decodeStage, hosts)
+	}
+	ps.stages = ps.stages[:hosts]
+	for i := range ps.stages {
+		ps.stages[i] = nil
+	}
+	return ps.stages
+}
+
+// decodeStage holds one decoded-but-unapplied reduce message: resolved
+// lids in message order and their values. The reduce path decodes arrivals
+// immediately but folds them into masters in ascending host order, so that
+// order-sensitive reductions (floating-point sums) produce bit-identical
+// results to a serial rank-order sync.
+type decodeStage struct {
+	lids []uint32
+	vals any
+}
+
+var decodeStagePool = sync.Pool{New: func() any { return new(decodeStage) }}
+
+func getDecodeStage() *decodeStage   { return decodeStagePool.Get().(*decodeStage) }
+func putDecodeStage(st *decodeStage) { decodeStagePool.Put(st) }
+
+// stageVals returns the stage's value slice emptied for appending,
+// preserving a previously grown backing array of the same value type.
+func stageVals[V Value](st *decodeStage) []V {
+	if vs, ok := st.vals.([]V); ok {
+		return vs[:0]
+	}
+	return nil
+}
+
+// compressor bundles a reusable DEFLATE writer with its staging buffer.
+type compressor struct {
+	buf bytes.Buffer
+	w   *flate.Writer
+}
+
+var compressorPool = sync.Pool{New: func() any { return new(compressor) }}
+
+// inflator bundles a reusable DEFLATE reader with the bytes.Reader it
+// draws from.
+type inflator struct {
+	br bytes.Reader
+	fr io.ReadCloser
+}
+
+var inflatorPool = sync.Pool{New: func() any { return new(inflator) }}

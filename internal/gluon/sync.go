@@ -3,10 +3,12 @@ package gluon
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"gluon/internal/bitset"
 	"gluon/internal/comm"
+	"gluon/internal/par"
 )
 
 // Location says at which edge endpoint a field is written or read by the
@@ -34,6 +36,11 @@ const (
 // updated this round must yield a value that is a no-op under Reduce
 // (i.e. the reduction identity, or an already-incorporated value of an
 // idempotent reduction such as min).
+//
+// Messages for different peers are encoded by parallel workers, so Extract
+// and Reset must be safe to call concurrently on distinct lids (per-element
+// reads/writes of a label array qualify; the per-peer mirror sets they run
+// over are disjoint).
 type ReduceSpec[V Value] interface {
 	Extract(lid uint32) V
 	Reduce(lid uint32, v V) bool
@@ -42,7 +49,9 @@ type ReduceSpec[V Value] interface {
 
 // BroadcastSpec is the broadcast synchronization structure of §3.3.
 // Masters call Extract; mirrors call Set with the canonical value, returning
-// whether the mirror's stored value changed.
+// whether the mirror's stored value changed. Extract must be safe to call
+// concurrently on the same lid (parallel workers encode overlapping master
+// orders); pure reads qualify.
 type BroadcastSpec[V Value] interface {
 	Extract(lid uint32) V
 	Set(lid uint32, v V) bool
@@ -116,6 +125,12 @@ func (g *Gluon) broadcastTag(fieldID uint32) comm.Tag {
 // changed by reduce and mirrors changed by broadcast, so that on return
 // updated holds exactly the proxies whose values are new — the engine's
 // next frontier. A nil updated means "assume everything changed".
+//
+// Both phases are pipelined: per-peer messages are encoded by parallel
+// workers (Options.SyncWorkers) into pooled buffers, and received messages
+// are applied in arrival order (Transport.RecvAny), so one slow link never
+// idles the host. Neither changes what is sent: per-peer payload bytes and
+// encoding-mode choices are identical to a serial, fixed-order sync.
 func Sync[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	if f.Reduce != nil {
 		if err := SyncReduce(g, f, updated); err != nil {
@@ -134,104 +149,179 @@ func Sync[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	start := time.Now()
 	defer func() {
+		g.statsMu.Lock()
 		g.stats.TimeInSync += time.Since(start)
 		g.stats.Syncs++
+		g.statsMu.Unlock()
 	}()
 
-	sendMirrors, recvMasters := g.peersForReduce(f.Write)
+	send, recv := g.peersForReduce(f.Write, g.Opt.StructuralInvariants)
 	tag := g.reduceTag(f.ID)
 	me := g.HostID()
 	gatherReduce := gatherFor[V](f.Reduce)
 
-	// Ship mirror values to owners. Sends run in a goroutine so that large
-	// bidirectional exchanges cannot deadlock on transport buffering.
-	sendErr := make(chan error, 1)
+	ps := getPeerScratch()
+	sendPeers, recvPeers := ps.peerLists(g.NumHosts(), me, send, recv)
+
+	// Ship mirror values to owners. Encoding fans out across workers — the
+	// per-peer mirror sets are disjoint, so encode, Reset, and Clear for
+	// different peers touch disjoint lids and words are read atomically.
+	// Sends still run off the receive path so that large bidirectional
+	// exchanges cannot deadlock on transport buffering.
+	sendErr := ps.errChan()
 	go func() {
-		for h := 0; h < g.NumHosts(); h++ {
-			order := sendMirrors[h]
-			if h == me || len(order) == 0 {
-				continue
-			}
-			payload, sent := encodeMsg(g, order, updated, gatherReduce)
-			payload = g.maybeCompress(payload)
-			// Mirrors whose value was shipped return to the reduction
-			// identity, and their "changed" bit migrates to the master.
-			for _, lid := range sent {
-				f.Reduce.Reset(lid)
-				if updated != nil {
-					updated.Clear(lid)
+		sendErr <- par.RangeWorkers(len(sendPeers), g.Opt.SyncWorkers, func(w, lo, hi int) error {
+			sc := getEncodeScratch()
+			defer putEncodeScratch(sc)
+			var st Stats
+			defer g.foldStats(&st)
+			for _, h := range sendPeers[lo:hi] {
+				order := send.lists[h]
+				payload, sent := encodeMsg(g, order, send.masks[h], updated, gatherReduce, sc, &st)
+				payload = g.maybeCompress(payload, &st)
+				// Mirrors whose value was shipped return to the reduction
+				// identity, and their "changed" bit migrates to the master.
+				for _, lid := range sent {
+					f.Reduce.Reset(lid)
+					if updated != nil {
+						updated.Clear(lid)
+					}
+				}
+				if err := g.T.Send(h, tag, payload); err != nil {
+					return fmt.Errorf("gluon: reduce %s to host %d: %w", f.Name, h, err)
 				}
 			}
-			if err := g.T.Send(h, tag, payload); err != nil {
-				sendErr <- fmt.Errorf("gluon: reduce %s to host %d: %w", f.Name, h, err)
-				return
-			}
-		}
-		sendErr <- nil
+			return nil
+		})
 	}()
 
-	// Fold received mirror values into masters.
-	for h := 0; h < g.NumHosts(); h++ {
-		order := recvMasters[h]
-		if h == me || len(order) == 0 {
-			continue
-		}
-		payload, err := g.T.Recv(h, tag)
-		if err != nil {
-			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
-		}
-		err = decodeMsg(g, payload, order, func(lid uint32, v V) {
-			if f.Reduce.Reduce(lid, v) && updated != nil {
-				updated.Set(lid)
-			}
-		})
-		if err != nil {
-			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+	// Fold received mirror values into masters. Messages are received and
+	// decoded in arrival order — decompression and wire parsing overlap with
+	// waiting on slower links — but folds run in ascending host order: a
+	// master receives contributions from several peers, and order-sensitive
+	// reductions (floating-point sums) must fold them in the same sequence
+	// every run to keep later rounds' payload bytes deterministic. A message
+	// that arrives ahead of its turn is parked, decoded, in a staging slot
+	// and applied once its predecessors have been.
+	apply := func(lid uint32, v V) {
+		if f.Reduce.Reduce(lid, v) && updated != nil {
+			updated.Set(lid)
 		}
 	}
-	return <-sendErr
+	remaining := append(ps.rem[:0], recvPeers...)
+	ps.rem = remaining
+	stages := ps.hostStages(g.NumHosts())
+	applyIdx := 0
+	for len(remaining) > 0 {
+		h, payload, err := g.T.RecvAny(tag, remaining)
+		if err != nil {
+			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+		}
+		remaining = removePeer(remaining, h)
+		if applyIdx < len(recvPeers) && h == recvPeers[applyIdx] {
+			err = decodeMsg(g, payload, recv.lists[h], apply)
+			comm.PutBuf(payload)
+			if err != nil {
+				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+			}
+			applyIdx++
+		} else {
+			st := getDecodeStage()
+			err = stageMsg[V](g, payload, recv.lists[h], st)
+			comm.PutBuf(payload)
+			if err != nil {
+				putDecodeStage(st)
+				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+			}
+			stages[h] = st
+		}
+		// Whatever is now unblocked folds while later messages are in flight.
+		for applyIdx < len(recvPeers) && stages[recvPeers[applyIdx]] != nil {
+			st := stages[recvPeers[applyIdx]]
+			stages[recvPeers[applyIdx]] = nil
+			applyStage(st, apply)
+			putDecodeStage(st)
+			applyIdx++
+		}
+	}
+	err := <-sendErr
+	putPeerScratch(ps) // not pooled on the error returns above: senders may still hold the lists
+	return err
+}
+
+// stageMsg decodes one message into a staging slot without applying it.
+func stageMsg[V Value](g *Gluon, payload []byte, order []uint32, st *decodeStage) error {
+	st.lids = st.lids[:0]
+	vals := stageVals[V](st)
+	err := decodeMsg(g, payload, order, func(lid uint32, v V) {
+		st.lids = append(st.lids, lid)
+		vals = append(vals, v)
+	})
+	st.vals = vals
+	return err
+}
+
+// applyStage replays a staged message through apply in message order.
+func applyStage[V Value](st *decodeStage, apply func(lid uint32, v V)) {
+	vals := st.vals.([]V)
+	for i, lid := range st.lids {
+		apply(lid, vals[i])
+	}
 }
 
 // SyncBroadcast runs only the broadcast pattern for f.
 func SyncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
+	return syncBroadcast(g, f, updated, g.Opt.StructuralInvariants)
+}
+
+// syncBroadcast is SyncBroadcast with the structural-invariant choice made
+// explicit, so BroadcastAll can run unconstrained without mutating shared
+// options.
+func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, structural bool) error {
 	start := time.Now()
 	defer func() {
+		g.statsMu.Lock()
 		g.stats.TimeInSync += time.Since(start)
 		g.stats.Syncs++
+		g.statsMu.Unlock()
 	}()
 
-	sendMasters, recvMirrors := g.peersForBroadcast(f.Read)
+	send, recv := g.peersForBroadcast(f.Read, structural)
 	tag := g.broadcastTag(f.ID)
 	me := g.HostID()
 	gatherBcast := gatherFor[V](f.Broadcast)
 
-	sendErr := make(chan error, 1)
+	ps := getPeerScratch()
+	sendPeers, recvPeers := ps.peerLists(g.NumHosts(), me, send, recv)
+
+	// Master orders for different peers overlap, but broadcast encoding
+	// only reads them, so the worker fan-out is safe.
+	sendErr := ps.errChan()
 	go func() {
-		for h := 0; h < g.NumHosts(); h++ {
-			order := sendMasters[h]
-			if h == me || len(order) == 0 {
-				continue
+		sendErr <- par.RangeWorkers(len(sendPeers), g.Opt.SyncWorkers, func(w, lo, hi int) error {
+			sc := getEncodeScratch()
+			defer putEncodeScratch(sc)
+			var st Stats
+			defer g.foldStats(&st)
+			for _, h := range sendPeers[lo:hi] {
+				order := send.lists[h]
+				payload, _ := encodeMsg(g, order, send.masks[h], updated, gatherBcast, sc, &st)
+				payload = g.maybeCompress(payload, &st)
+				if err := g.T.Send(h, tag, payload); err != nil {
+					return fmt.Errorf("gluon: broadcast %s to host %d: %w", f.Name, h, err)
+				}
 			}
-			payload, _ := encodeMsg(g, order, updated, gatherBcast)
-			payload = g.maybeCompress(payload)
-			if err := g.T.Send(h, tag, payload); err != nil {
-				sendErr <- fmt.Errorf("gluon: broadcast %s to host %d: %w", f.Name, h, err)
-				return
-			}
-		}
-		sendErr <- nil
+			return nil
+		})
 	}()
 
-	for h := 0; h < g.NumHosts(); h++ {
-		order := recvMirrors[h]
-		if h == me || len(order) == 0 {
-			continue
-		}
-		payload, err := g.T.Recv(h, tag)
+	for len(recvPeers) > 0 {
+		h, payload, err := g.T.RecvAny(tag, recvPeers)
 		if err != nil {
 			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
 		}
-		err = decodeMsg(g, payload, order, func(lid uint32, v V) {
+		recvPeers = removePeer(recvPeers, h)
+		err = decodeMsg(g, payload, recv.lists[h], func(lid uint32, v V) {
 			f.Broadcast.Set(lid, v)
 			// Delivery activates the mirror even when the value is
 			// unchanged: the mirror that originated this round's best value
@@ -242,11 +332,45 @@ func SyncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error 
 				updated.Set(lid)
 			}
 		})
+		comm.PutBuf(payload)
 		if err != nil {
 			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
 		}
 	}
-	return <-sendErr
+	err := <-sendErr
+	putPeerScratch(ps)
+	return err
+}
+
+// peerLists fills the scratch with the peers this sync sends to and
+// receives from, skipping self and empty orders.
+func (ps *peerScratch) peerLists(hosts, me int, send, recv orderSet) (sendPeers, recvPeers []int) {
+	sendPeers, recvPeers = ps.send[:0], ps.recv[:0]
+	for h := 0; h < hosts; h++ {
+		if h == me {
+			continue
+		}
+		if len(send.lists[h]) > 0 {
+			sendPeers = append(sendPeers, h)
+		}
+		if len(recv.lists[h]) > 0 {
+			recvPeers = append(recvPeers, h)
+		}
+	}
+	ps.send, ps.recv = sendPeers, recvPeers
+	return sendPeers, recvPeers
+}
+
+// removePeer deletes h from peers in place (order is irrelevant: RecvAny
+// matches the set, not a sequence).
+func removePeer(peers []int, h int) []int {
+	for i, p := range peers {
+		if p == h {
+			peers[i] = peers[len(peers)-1]
+			return peers[:len(peers)-1]
+		}
+	}
+	return peers
 }
 
 // BroadcastAll pushes masters' canonical values to every mirror regardless
@@ -254,32 +378,45 @@ func SyncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error 
 // finalize results before output or verification.
 func BroadcastAll[V Value](g *Gluon, f Field[V]) error {
 	full := Field[V]{ID: f.ID, Name: f.Name, Write: Anywhere, Read: Anywhere, Broadcast: f.Broadcast}
-	saved := g.Opt.StructuralInvariants
-	g.Opt.StructuralInvariants = false
-	err := SyncBroadcast(g, full, nil)
-	g.Opt.StructuralInvariants = saved
-	return err
+	return syncBroadcast(g, full, nil, false)
 }
 
 // encodeMsg builds one field-sync message for the given memoized order,
 // selecting the cheapest of the §4.2 encodings (or (GID, value) pairs when
 // temporal invariance is off). Values are obtained through gather — one
-// bulk call per message, matching the GPU plugin's staged transfers. It
-// returns the payload and the slice of local IDs whose values were shipped.
-func encodeMsg[V Value](g *Gluon, order []uint32, updated *bitset.Bitset, gather func(lids []uint32, dst []V) []V) (payload []byte, sent []uint32) {
+// bulk call per message, matching the GPU plugin's staged transfers. The
+// payload comes from the comm buffer pool and is released per the
+// Transport contract once sent; index and value staging live in sc, and
+// stats are accumulated into st for a race-free fold after the worker
+// joins. mask, when non-nil, must be the OrderMask of order; it replaces
+// the per-lid updated probes with word-level intersection.
+//
+// It returns the payload and the slice of local IDs whose values were
+// shipped; sent aliases either sc or order and is only valid until the
+// next encode on the same scratch.
+func encodeMsg[V Value](g *Gluon, order []uint32, mask *bitset.OrderMask, updated *bitset.Bitset, gather func(lids []uint32, dst []V) []V, sc *encodeScratch, st *Stats) (payload []byte, sent []uint32) {
 	vs := valSize[V]()
 	n := len(order)
 
 	if !g.Opt.TemporalInvariance {
 		// Pre-Gluon wire format: (global-ID, value) pairs for every updated
 		// proxy. No memoized ordering is assumed by the receiver.
-		for _, lid := range order {
-			if updated == nil || updated.Test(lid) {
-				sent = append(sent, lid)
+		sent = sc.sent[:0]
+		switch {
+		case updated == nil:
+			sent = append(sent, order...)
+		case mask != nil:
+			sc.positions, sent = mask.IntersectAppend(updated, sc.positions[:0], sent)
+		default:
+			for _, lid := range order {
+				if updated.Test(lid) {
+					sent = append(sent, lid)
+				}
 			}
 		}
-		vals := gather(sent, make([]V, len(sent)))
-		payload = make([]byte, 5+len(sent)*(8+vs))
+		sc.sent = sent
+		vals := gather(sent, scratchVals[V](sc, len(sent)))
+		payload = comm.GetBuf(5 + len(sent)*(8+vs))
 		payload[0] = modeGIDs
 		binary.LittleEndian.PutUint32(payload[1:], uint32(len(sent)))
 		off := 5
@@ -288,38 +425,46 @@ func encodeMsg[V Value](g *Gluon, order []uint32, updated *bitset.Bitset, gather
 			putVal(payload[off+8:], vals[i])
 			off += 8 + vs
 		}
-		g.stats.MessagesSent++
-		g.stats.ModeCounts[modeGIDs]++
-		g.stats.MetadataBytes += 5
-		g.stats.GIDBytes += uint64(len(sent)) * 8
-		g.stats.ValueBytes += uint64(len(sent)) * uint64(vs)
+		st.MessagesSent++
+		st.ModeCounts[modeGIDs]++
+		st.MetadataBytes += 5
+		st.GIDBytes += uint64(len(sent)) * 8
+		st.ValueBytes += uint64(len(sent)) * uint64(vs)
 		return payload, sent
 	}
 
 	// Positions (into the memoized order) carrying an update this round.
-	var positions []uint32
-	if updated == nil {
-		positions = make([]uint32, n)
-		for i := range positions {
-			positions[i] = uint32(i)
+	positions := sc.positions[:0]
+	switch {
+	case updated == nil:
+		for i := 0; i < n; i++ {
+			positions = append(positions, uint32(i))
 		}
 		sent = order
-	} else {
+	case mask != nil:
+		positions, sent = mask.IntersectAppend(updated, positions, sc.sent[:0])
+		sc.sent = sent
+	default:
+		sent = sc.sent[:0]
 		for i, lid := range order {
 			if updated.Test(lid) {
 				positions = append(positions, uint32(i))
 				sent = append(sent, lid)
 			}
 		}
+		sc.sent = sent
 	}
+	sc.positions = positions
 	k := len(positions)
 
 	// Size each §4.2 encoding and pick the smallest.
 	if k == 0 {
-		g.stats.MessagesSent++
-		g.stats.ModeCounts[modeEmpty]++
-		g.stats.MetadataBytes++
-		return []byte{modeEmpty}, nil
+		st.MessagesSent++
+		st.ModeCounts[modeEmpty]++
+		st.MetadataBytes++
+		payload = comm.GetBuf(1)
+		payload[0] = modeEmpty
+		return payload, nil
 	}
 	bvWords := (n + 63) / 64
 	denseSize := 1 + n*vs
@@ -339,41 +484,42 @@ func encodeMsg[V Value](g *Gluon, order []uint32, updated *bitset.Bitset, gather
 	case denseSize <= bitvecSize && denseSize <= idxSize:
 		// Dense messages ship every proxy in the order.
 		sent = order
-		vals := gather(order, make([]V, n))
-		payload = make([]byte, denseSize)
+		vals := gather(order, scratchVals[V](sc, n))
+		payload = comm.GetBuf(denseSize)
 		payload[0] = modeDense
 		off := 1
 		for _, v := range vals {
 			putVal(payload[off:], v)
 			off += vs
 		}
-		g.stats.ModeCounts[modeDense]++
-		g.stats.MetadataBytes++
-		g.stats.ValueBytes += uint64(n) * uint64(vs)
+		st.ModeCounts[modeDense]++
+		st.MetadataBytes++
+		st.ValueBytes += uint64(n) * uint64(vs)
 	case bitvecSize <= idxSize:
-		vals := gather(sent, make([]V, k))
-		payload = make([]byte, bitvecSize)
+		vals := gather(sent, scratchVals[V](sc, k))
+		payload = comm.GetBuf(bitvecSize)
 		payload[0] = modeBitvec
 		binary.LittleEndian.PutUint32(payload[1:], uint32(k))
-		bv := bitset.New(uint32(n))
+		// Write the bit-vector straight into the payload: bit p of the
+		// little-endian word stream is byte p/8, bit p%8.
+		bv := payload[5 : 5+bvWords*8]
+		for i := range bv {
+			bv[i] = 0
+		}
 		for _, pos := range positions {
-			bv.SetUnsync(pos)
+			bv[pos>>3] |= 1 << (pos & 7)
 		}
-		off := 5
-		for _, w := range bv.Words() {
-			binary.LittleEndian.PutUint64(payload[off:], w)
-			off += 8
-		}
+		off := 5 + bvWords*8
 		for _, v := range vals {
 			putVal(payload[off:], v)
 			off += vs
 		}
-		g.stats.ModeCounts[modeBitvec]++
-		g.stats.MetadataBytes += uint64(5 + bvWords*8)
-		g.stats.ValueBytes += uint64(k) * uint64(vs)
+		st.ModeCounts[modeBitvec]++
+		st.MetadataBytes += uint64(5 + bvWords*8)
+		st.ValueBytes += uint64(k) * uint64(vs)
 	default:
-		vals := gather(sent, make([]V, k))
-		payload = make([]byte, idxSize)
+		vals := gather(sent, scratchVals[V](sc, k))
+		payload = comm.GetBuf(idxSize)
 		payload[0] = modeIndices
 		binary.LittleEndian.PutUint32(payload[1:], uint32(k))
 		off := 5
@@ -385,22 +531,32 @@ func encodeMsg[V Value](g *Gluon, order []uint32, updated *bitset.Bitset, gather
 			putVal(payload[off:], v)
 			off += vs
 		}
-		g.stats.ModeCounts[modeIndices]++
-		g.stats.MetadataBytes += uint64(5 + k*4)
-		g.stats.ValueBytes += uint64(k) * uint64(vs)
+		st.ModeCounts[modeIndices]++
+		st.MetadataBytes += uint64(5 + k*4)
+		st.ValueBytes += uint64(k) * uint64(vs)
 	}
-	g.stats.MessagesSent++
+	st.MessagesSent++
 	return payload, sent
 }
 
 // decodeMsg applies one received field-sync message: apply is called with
 // the local ID (resolved through the memoized order, or through global-ID
-// translation for modeGIDs messages) and the value.
+// translation for modeGIDs messages) and the value. The input payload is
+// not consumed — its owner releases it — but any decompression buffer
+// decodeMsg creates is pooled internally.
 func decodeMsg[V Value](g *Gluon, payload []byte, order []uint32, apply func(lid uint32, v V)) error {
-	payload, err := maybeDecompress(payload)
+	body, pooled, err := maybeDecompress(payload)
 	if err != nil {
 		return err
 	}
+	err = decodeBody(g, body, order, apply)
+	if pooled {
+		comm.PutBuf(body)
+	}
+	return err
+}
+
+func decodeBody[V Value](g *Gluon, payload []byte, order []uint32, apply func(lid uint32, v V)) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("empty payload")
 	}
@@ -429,32 +585,24 @@ func decodeMsg[V Value](g *Gluon, payload []byte, order []uint32, apply func(lid
 		if len(body) != 4+bvWords*8+int(k)*vs {
 			return fmt.Errorf("bitvec message: %d bytes, want %d", len(body), 4+bvWords*8+int(k)*vs)
 		}
-		words := make([]uint64, bvWords)
-		off := 4
-		for i := range words {
-			words[i] = binary.LittleEndian.Uint64(body[off:])
-			off += 8
-		}
-		bv, err := bitset.FromWords(words, uint32(n))
-		if err != nil {
-			return err
-		}
+		valOff := 4 + bvWords*8
 		applied := uint32(0)
-		var derr error
-		bv.ForEach(func(pos uint32) {
-			if derr != nil {
-				return
+		for wi := 0; wi < bvWords; wi++ {
+			w := binary.LittleEndian.Uint64(body[4+wi*8:])
+			base := wi * wordBits
+			for w != 0 {
+				pos := base + bits.TrailingZeros64(w)
+				if applied >= k {
+					return fmt.Errorf("bitvec message: more set bits than count %d", k)
+				}
+				if pos >= n {
+					return fmt.Errorf("bitvec message: position %d out of %d", pos, n)
+				}
+				apply(order[pos], getVal[V](body[valOff:]))
+				valOff += vs
+				applied++
+				w &= w - 1
 			}
-			if applied >= k {
-				derr = fmt.Errorf("bitvec message: more set bits than count %d", k)
-				return
-			}
-			apply(order[pos], getVal[V](body[off:]))
-			off += vs
-			applied++
-		})
-		if derr != nil {
-			return derr
 		}
 		if applied != k {
 			return fmt.Errorf("bitvec message: %d set bits, count says %d", applied, k)
@@ -501,3 +649,6 @@ func decodeMsg[V Value](g *Gluon, payload []byte, order []uint32, apply func(lid
 	}
 	return nil
 }
+
+// wordBits mirrors the bitset word width for inline bit-vector decoding.
+const wordBits = 64

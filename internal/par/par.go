@@ -67,6 +67,52 @@ func Range(n int, workers int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// RangeWorkers runs body(w, lo, hi) over a contiguous chunking of [0, n),
+// with w identifying the worker slot in [0, workers). Unlike Range, the
+// worker index lets bodies own per-worker scratch (preallocated buffers,
+// local stat counters) across the whole chunk. workers <= 0 means
+// DefaultWorkers. The first non-nil error from any body is returned; all
+// bodies run to completion regardless.
+func RangeWorkers(n int, workers int, body func(w, lo, hi int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return body(0, 0, n)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = body(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SumUint64 runs body over chunks of [0, n), each returning a partial
 // uint64 sum, and returns the total. Used for counting active work without
 // atomic contention.

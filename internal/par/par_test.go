@@ -54,6 +54,58 @@ func TestRangeSingleWorker(t *testing.T) {
 	}
 }
 
+func TestRangeWorkersCoversDisjointWithSlots(t *testing.T) {
+	const n = 777
+	const workers = 5
+	var mask [n]uint32
+	var slotHits [workers]uint32
+	err := RangeWorkers(n, workers, func(w, lo, hi int) error {
+		atomic.AddUint32(&slotHits[w], 1)
+		for i := lo; i < hi; i++ {
+			atomic.AddUint32(&mask[i], 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range mask {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	for w, c := range slotHits {
+		if c > 1 {
+			t.Fatalf("worker slot %d used %d times", w, c)
+		}
+	}
+}
+
+func TestRangeWorkersError(t *testing.T) {
+	wantErr := errSentinel("boom")
+	var ran uint32
+	err := RangeWorkers(100, 4, func(w, lo, hi int) error {
+		atomic.AddUint32(&ran, uint32(hi-lo))
+		if lo == 0 {
+			return wantErr
+		}
+		return nil
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 100 {
+		t.Fatalf("only %d iterations ran; all bodies must complete", ran)
+	}
+	if err := RangeWorkers(0, 4, func(int, int, int) error { return wantErr }); err != nil {
+		t.Fatal("body called for empty range")
+	}
+}
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }
+
 func TestSumUint64(t *testing.T) {
 	got := SumUint64(100, 7, func(lo, hi int) uint64 {
 		var s uint64
