@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench sync-bench
+.PHONY: check fmt vet build test race race-fault bench sync-bench
 
-check: fmt vet build race
+check: fmt vet build race-fault race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -24,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Fault-tolerance gate: the transport and BSP-runner fault suites (peer
+# death, injected faults, shutdown mid-collective) must pass under the race
+# detector, uncached, on every check (DESIGN.md §4.2).
+race-fault:
+	$(GO) test -race -count=1 ./internal/comm/... ./internal/dsys/...
 
 # Sync hot-path microbenchmark (BenchmarkSyncHotPath) straight from go test.
 bench:

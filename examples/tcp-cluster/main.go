@@ -9,9 +9,11 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"gluon"
 	"gluon/internal/algorithms/sssp"
@@ -51,7 +53,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Bring up the TCP mesh on localhost.
+	// Bring up the TCP mesh on localhost. Mesh establishment is bounded: a
+	// host that never comes up fails the dial with an error naming it,
+	// instead of blocking Accept forever.
 	addrs := make([]string, hosts)
 	for h := range addrs {
 		addrs[h] = fmt.Sprintf("127.0.0.1:%d", 39200+h)
@@ -64,7 +68,7 @@ func main() {
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
-			ep, err := comm.DialTCP(h, addrs)
+			ep, err := comm.DialTCPConfig(h, addrs, comm.DialConfig{Timeout: 10 * time.Second})
 			if err != nil {
 				mu.Lock()
 				dialErr = err
@@ -93,6 +97,12 @@ func main() {
 		CollectValues: true,
 	}, sssp.NewGalois(uint64(source), 0))
 	if err != nil {
+		// A host dying mid-run surfaces as a typed *comm.PeerError naming
+		// the dead rank (the cluster fails loudly instead of hanging).
+		var pe *comm.PeerError
+		if errors.As(err, &pe) {
+			log.Fatalf("cluster failed: host %d is dead: %v", pe.Host, err)
+		}
 		log.Fatal(err)
 	}
 

@@ -13,12 +13,49 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// ErrClosed is the sentinel wrapped by every error a transport returns after
+// Close: pending and future Recv/RecvAny unblock with an error matching
+// errors.Is(err, ErrClosed), and Sends fail the same way.
+var ErrClosed = errors.New("comm: transport closed")
+
+// PeerError reports that a specific peer failed: its connection died, it
+// delivered a malformed frame, or the runtime declared it dead (see
+// PeerFailer). Every Recv/RecvAny blocked on — or later directed at — a
+// failed peer returns a *PeerError naming it, so a BSP job surfaces a dead
+// host as a diagnosable failure instead of a silent stall. Match with
+// errors.As(err, &pe) where pe is a *PeerError.
+type PeerError struct {
+	// Host is the rank of the failed peer.
+	Host int
+	// Err is the underlying cause (connection error, malformed frame, or an
+	// injected/propagated fault).
+	Err error
+}
+
+func (e *PeerError) Error() string {
+	return fmt.Sprintf("comm: peer %d failed: %v", e.Host, e.Err)
+}
+
+func (e *PeerError) Unwrap() error { return e.Err }
+
+// PeerFailer is implemented by transports that can mark a single peer as
+// failed without tearing down the whole endpoint. After FailPeer(h, err),
+// messages already received from h remain deliverable, but any Recv/RecvAny
+// that would otherwise block waiting on h returns a *PeerError{Host: h}
+// immediately. Both built-in transports and FaultTransport implement it; the
+// dsys runner uses it to propagate one host's failure to the survivors so a
+// cluster fails loudly instead of hanging.
+type PeerFailer interface {
+	FailPeer(host int, err error)
+}
 
 // NetModel adds simulated network costs to the in-process transport: each
 // message occupies its (sender, receiver) link for
@@ -128,10 +165,16 @@ func (c *counters) snapshot() Stats {
 // (sender, tag). It is the demultiplexer both transports share. Entries
 // carry a readiness time so the in-process transport can simulate link
 // costs (see NetModel) without breaking per-(sender, tag) FIFO order.
+//
+// A peer can be poisoned: once dead[h] is set, messages already queued from
+// h stay deliverable (they arrived intact before the failure), but a get or
+// getAny that would block on h fails with *PeerError instead. The first
+// recorded error wins, so the root cause survives cascading failures.
 type mailbox struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	queues map[mailKey][]mailEntry
+	dead   map[int]error
 	closed bool
 }
 
@@ -161,6 +204,29 @@ func (m *mailbox) putAt(from int, tag Tag, payload []byte, readyAt time.Time) {
 	m.queues[k] = append(m.queues[k], mailEntry{payload: payload, readyAt: readyAt})
 	m.mu.Unlock()
 	m.cond.Broadcast()
+}
+
+// poison marks peer `from` as failed and wakes every waiter so blocked
+// receives involving it return *PeerError. Idempotent; the first error is
+// kept as the cause.
+func (m *mailbox) poison(from int, err error) {
+	m.mu.Lock()
+	if m.dead == nil {
+		m.dead = make(map[int]error)
+	}
+	if _, ok := m.dead[from]; !ok {
+		m.dead[from] = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// peerErr returns the poison error for a peer, or nil. Caller holds m.mu.
+func (m *mailbox) peerErr(from int) error {
+	if err, ok := m.dead[from]; ok {
+		return &PeerError{Host: from, Err: err}
+	}
+	return nil
 }
 
 // sleepUntil waits until the modeled delivery deadline t. In-flight delays
@@ -205,9 +271,15 @@ func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 			m.mu.Unlock()
 			return e.payload, nil
 		}
+		// Nothing queued from this peer: fail fast if it is dead rather
+		// than block on a message that can never arrive.
+		if err := m.peerErr(from); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
 		if m.closed {
 			m.mu.Unlock()
-			return nil, fmt.Errorf("comm: transport closed while waiting for tag %#x from host %d", tag, from)
+			return nil, fmt.Errorf("%w while waiting for tag %#x from host %d", ErrClosed, tag, from)
 		}
 		m.cond.Wait()
 	}
@@ -267,9 +339,28 @@ func (m *mailbox) getAny(tag Tag, peers []int) (int, []byte, error) {
 			m.mu.Unlock()
 			return from, e.payload, nil
 		}
+		// No deliverable message among the candidates. If any candidate
+		// peer is dead the wait can never be satisfied by it — fail loudly
+		// now instead of gambling that the live peers cover the caller.
+		if m.dead != nil {
+			if peers == nil {
+				for p := range m.dead {
+					err := m.peerErr(p)
+					m.mu.Unlock()
+					return -1, nil, err
+				}
+			} else {
+				for _, p := range peers {
+					if err := m.peerErr(p); err != nil {
+						m.mu.Unlock()
+						return -1, nil, err
+					}
+				}
+			}
+		}
 		if m.closed {
 			m.mu.Unlock()
-			return -1, nil, fmt.Errorf("comm: transport closed while waiting for tag %#x from any peer", tag)
+			return -1, nil, fmt.Errorf("%w while waiting for tag %#x from any peer", ErrClosed, tag)
 		}
 		m.cond.Wait()
 	}
@@ -297,9 +388,11 @@ func Barrier(t Transport) error {
 		if err := t.Send(to, TagBarrier, nil); err != nil {
 			return err
 		}
-		if _, err := t.Recv(from, TagBarrier); err != nil {
+		p, err := t.Recv(from, TagBarrier)
+		if err != nil {
 			return err
 		}
+		PutBuf(p)
 	}
 	return nil
 }
@@ -313,7 +406,6 @@ func AllReduceUint64(t Transport, val uint64, op func(a, b uint64) uint64) (uint
 		return val, nil
 	}
 	me := t.HostID()
-	buf := make([]byte, 8)
 	if me == 0 {
 		acc := val
 		for h := 1; h < n; h++ {
@@ -322,17 +414,18 @@ func AllReduceUint64(t Transport, val uint64, op func(a, b uint64) uint64) (uint
 				return 0, err
 			}
 			acc = op(acc, binary.LittleEndian.Uint64(p))
+			PutBuf(p)
 		}
-		binary.LittleEndian.PutUint64(buf, acc)
 		for h := 1; h < n; h++ {
-			out := make([]byte, 8)
-			copy(out, buf)
+			out := GetBuf(8)
+			binary.LittleEndian.PutUint64(out, acc)
 			if err := t.Send(h, TagAllReduce, out); err != nil {
 				return 0, err
 			}
 		}
 		return acc, nil
 	}
+	buf := GetBuf(8)
 	binary.LittleEndian.PutUint64(buf, val)
 	if err := t.Send(0, TagAllReduce, buf); err != nil {
 		return 0, err
@@ -341,7 +434,9 @@ func AllReduceUint64(t Transport, val uint64, op func(a, b uint64) uint64) (uint
 	if err != nil {
 		return 0, err
 	}
-	return binary.LittleEndian.Uint64(p), nil
+	v := binary.LittleEndian.Uint64(p)
+	PutBuf(p)
+	return v, nil
 }
 
 // AllReduceSum is AllReduceUint64 with addition.
@@ -370,7 +465,7 @@ func AllGather(t Transport, payload []byte) ([][]byte, error) {
 		if h == me {
 			continue
 		}
-		cp := make([]byte, len(payload))
+		cp := GetBuf(len(payload))
 		copy(cp, payload)
 		if err := t.Send(h, TagAllGather, cp); err != nil {
 			return nil, err

@@ -1,0 +1,193 @@
+package comm
+
+// FaultTransport wraps any Transport and injects deterministic faults:
+// connections that drop after a fixed number of messages, delayed frames,
+// and truncated payloads. It exists to test the reliability contract the
+// rest of the system assumes from the substrate — a BSP job over a faulty
+// transport must terminate with a diagnosable *PeerError, never hang. The
+// wrapper is transport-agnostic: it works identically over the in-process
+// hub and TCP endpoints, so fault suites run the exact code paths of both.
+//
+// Faults are counter-based, so a given config is fully deterministic;
+// Seed only feeds the optional delay jitter, making randomized timing
+// reproducible run to run.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Injected fault causes, distinguishable via errors.Is on the *PeerError's
+// wrapped cause.
+var (
+	// ErrInjectedFault marks a connection dropped by FaultConfig.KillAfterSends.
+	ErrInjectedFault = errors.New("comm: injected fault: connection dropped")
+	// ErrTruncatedFrame marks a payload truncated by FaultConfig.TruncateRecvAfter.
+	ErrTruncatedFrame = errors.New("comm: injected fault: truncated frame")
+)
+
+// FaultConfig describes the faults a FaultTransport injects. The zero value
+// injects nothing (a transparent wrapper).
+type FaultConfig struct {
+	// Seed seeds the jitter source used by DelayJitter so randomized
+	// timing is reproducible. Counter-based faults ignore it.
+	Seed int64
+
+	// KillAfterSends > 0 drops the connection to KillPeer after that many
+	// successful sends to it: the next send fails with *PeerError, the
+	// peer is poisoned on the underlying transport (pending and future
+	// receives involving it fail immediately), and — where the transport
+	// supports it — the peer link is severed for real.
+	KillAfterSends int
+	// KillPeer is the rank whose connection KillAfterSends drops.
+	KillPeer int
+
+	// DelayEvery > 0 delays every DelayEvery-th send (counted across all
+	// peers) by Delay before it reaches the underlying transport,
+	// simulating a congested or flapping link.
+	DelayEvery int
+	// Delay is the injected hold time per delayed frame.
+	Delay time.Duration
+	// DelayJitter adds a uniformly random extra in [0, DelayJitter) drawn
+	// from the seeded source.
+	DelayJitter time.Duration
+
+	// TruncateRecvAfter = n > 0 truncates the payload of the n-th
+	// successful receive (Recv or RecvAny, counted together): the frame is
+	// treated exactly as a TCP readLoop treats a short read — the payload
+	// is discarded, the sender is poisoned, and the receive returns a
+	// *PeerError wrapping ErrTruncatedFrame.
+	TruncateRecvAfter int
+}
+
+// FaultTransport implements Transport (and PeerFailer) over an inner
+// transport, injecting the faults described by its FaultConfig.
+type FaultTransport struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	sends     int // all sends, for DelayEvery
+	killSends int // sends to KillPeer, for KillAfterSends
+	recvs     int // successful receives, for TruncateRecvAfter
+	killed    bool
+}
+
+// NewFaultTransport wraps t with fault injection per cfg.
+func NewFaultTransport(t Transport, cfg FaultConfig) *FaultTransport {
+	return &FaultTransport{inner: t, cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Inner returns the wrapped transport.
+func (f *FaultTransport) Inner() Transport { return f.inner }
+
+// HostID implements Transport.
+func (f *FaultTransport) HostID() int { return f.inner.HostID() }
+
+// NumHosts implements Transport.
+func (f *FaultTransport) NumHosts() int { return f.inner.NumHosts() }
+
+// Send implements Transport, injecting kill and delay faults.
+func (f *FaultTransport) Send(to int, tag Tag, payload []byte) error {
+	f.mu.Lock()
+	f.sends++
+	var delay time.Duration
+	if f.cfg.DelayEvery > 0 && f.sends%f.cfg.DelayEvery == 0 {
+		delay = f.cfg.Delay
+		if f.cfg.DelayJitter > 0 {
+			delay += time.Duration(f.rng.Int63n(int64(f.cfg.DelayJitter)))
+		}
+	}
+	kill := false
+	if f.cfg.KillAfterSends > 0 && to == f.cfg.KillPeer {
+		if f.killed {
+			kill = true
+		} else {
+			f.killSends++
+			if f.killSends > f.cfg.KillAfterSends {
+				f.killed = true
+				kill = true
+			}
+		}
+	}
+	f.mu.Unlock()
+
+	if kill {
+		f.failPeerInner(f.cfg.KillPeer, ErrInjectedFault)
+		// The transport owns the payload even when the send fails.
+		PutBuf(payload)
+		return &PeerError{Host: f.cfg.KillPeer, Err: ErrInjectedFault}
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return f.inner.Send(to, tag, payload)
+}
+
+// Recv implements Transport, injecting truncation faults.
+func (f *FaultTransport) Recv(from int, tag Tag) ([]byte, error) {
+	p, err := f.inner.Recv(from, tag)
+	if err != nil {
+		return nil, err
+	}
+	if f.truncateThis() {
+		return nil, f.truncate(from, p)
+	}
+	return p, nil
+}
+
+// RecvAny implements Transport, injecting truncation faults.
+func (f *FaultTransport) RecvAny(tag Tag, from []int) (int, []byte, error) {
+	h, p, err := f.inner.RecvAny(tag, from)
+	if err != nil {
+		return h, nil, err
+	}
+	if f.truncateThis() {
+		return -1, nil, f.truncate(h, p)
+	}
+	return h, p, nil
+}
+
+// truncateThis reports whether the receive that just completed is the one
+// TruncateRecvAfter targets.
+func (f *FaultTransport) truncateThis() bool {
+	if f.cfg.TruncateRecvAfter <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	f.recvs++
+	hit := f.recvs == f.cfg.TruncateRecvAfter
+	f.mu.Unlock()
+	return hit
+}
+
+// truncate discards a received payload as a malformed frame and poisons its
+// sender, mirroring what the TCP read loop does on a short read.
+func (f *FaultTransport) truncate(from int, payload []byte) error {
+	PutBuf(payload)
+	f.failPeerInner(from, ErrTruncatedFrame)
+	return &PeerError{Host: from, Err: fmt.Errorf("%w (payload discarded)", ErrTruncatedFrame)}
+}
+
+// failPeerInner poisons a peer on the wrapped transport when it supports
+// PeerFailer, so the fault outlives this one call.
+func (f *FaultTransport) failPeerInner(host int, err error) {
+	if pf, ok := f.inner.(PeerFailer); ok {
+		pf.FailPeer(host, err)
+	}
+}
+
+// FailPeer implements PeerFailer by delegating to the wrapped transport.
+func (f *FaultTransport) FailPeer(host int, err error) {
+	f.failPeerInner(host, err)
+}
+
+// Stats implements Transport.
+func (f *FaultTransport) Stats() Stats { return f.inner.Stats() }
+
+// Close implements Transport.
+func (f *FaultTransport) Close() error { return f.inner.Close() }

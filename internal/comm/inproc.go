@@ -116,6 +116,15 @@ func (e *inprocEndpoint) RecvAny(tag Tag, from []int) (int, []byte, error) {
 
 func (e *inprocEndpoint) Stats() Stats { return e.ctr.snapshot() }
 
+// FailPeer implements PeerFailer: it poisons this endpoint's mailbox for
+// the given peer. In-process hosts are goroutines, so the transport cannot
+// observe a peer "dying" on its own — the dsys runner (or a FaultTransport)
+// calls this when a host fails, making the survivors' blocked receives
+// return *PeerError instead of hanging.
+func (e *inprocEndpoint) FailPeer(host int, err error) {
+	e.mbox.poison(host, err)
+}
+
 func (e *inprocEndpoint) Close() error {
 	e.mbox.close()
 	return nil

@@ -6,47 +6,103 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TCPEndpoint is a Transport over real sockets. Each endpoint listens on an
 // address; a full mesh of connections is established at dial time. The wire
-// format per message is a 10-byte header (from uint32 for sanity checking is
-// implicit in the connection; tag uint32, length uint32, then payload),
-// little-endian.
+// format per message is an 8-byte header — tag uint32, length uint32,
+// little-endian — followed by the payload. The sender's rank is implicit in
+// the connection (each conn carries exactly one peer pair, established by
+// the rank handshake at dial time).
 //
 // It exists so clusters of separate OS processes can run Gluon systems (see
 // examples/tcp-cluster); functionally it is interchangeable with Hub.
+//
+// Fault behavior: when a connection dies or delivers a malformed frame, the
+// peer is poisoned — pending and future Recv/RecvAny involving it return a
+// *PeerError naming the host — and Sends to it fail the same way. The rest
+// of the mesh keeps working, so the layer above decides whether one dead
+// peer is fatal (for BSP it always is, and dsys propagates the failure).
 type TCPEndpoint struct {
 	id    int
 	addrs []string
 	mbox  *mailbox
 	ctr   counters
 
-	mu       sync.Mutex
-	conns    []net.Conn // conns[i] carries traffic to/from host i
+	conns    []*tcpConn // conns[i] carries traffic to/from host i; conns[id] unused
 	listener net.Listener
 	wg       sync.WaitGroup
-	closed   bool
+	closed   atomic.Bool
+}
+
+// tcpConn is one peer link. Writes are serialized per connection — not per
+// endpoint — so one slow peer never blocks sends to the others.
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn // nil until the mesh handshake installs it
 }
 
 const tcpHeaderLen = 8 // tag uint32 + length uint32
 
-// DialTCP creates host id's endpoint of an n-host TCP communicator.
-// addrs[i] is the listen address of host i; addrs[id] is where this
-// endpoint listens. DialTCP blocks until the full connection mesh is
-// established: each endpoint accepts connections from lower-ranked hosts
-// and dials higher-ranked hosts.
+// MaxFrameSize bounds the payload length a TCPEndpoint will accept in one
+// frame. A decoded length above it marks the frame malformed and poisons the
+// peer instead of letting a corrupt (or hostile) header drive an arbitrary
+// allocation.
+const MaxFrameSize = 1 << 30
+
+// DefaultDialTimeout bounds mesh establishment when DialConfig.Timeout is
+// zero. Generous, because higher-ranked peers legitimately start later; the
+// point is to turn "a peer never came up" into an error instead of an
+// unbounded hang.
+const DefaultDialTimeout = 30 * time.Second
+
+// DialConfig tunes TCP mesh establishment.
+type DialConfig struct {
+	// Timeout bounds the whole mesh establishment — dialing higher-ranked
+	// peers (with backoff retries) and accepting lower-ranked ones,
+	// handshakes included. A peer that never appears fails the dial with an
+	// error naming it, instead of blocking Accept forever. Zero means
+	// DefaultDialTimeout.
+	Timeout time.Duration
+}
+
+// DialTCP creates host id's endpoint of an n-host TCP communicator with the
+// default mesh-establishment timeout. addrs[i] is the listen address of
+// host i; addrs[id] is where this endpoint listens. DialTCP blocks until
+// the full connection mesh is established: each endpoint accepts
+// connections from lower-ranked hosts and dials higher-ranked hosts.
 func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
+	return DialTCPConfig(id, addrs, DialConfig{})
+}
+
+// DialTCPConfig is DialTCP with explicit establishment parameters.
+func DialTCPConfig(id int, addrs []string, cfg DialConfig) (*TCPEndpoint, error) {
 	n := len(addrs)
 	if id < 0 || id >= n {
 		return nil, fmt.Errorf("comm: host id %d out of range [0,%d)", id, n)
 	}
-	e := &TCPEndpoint{id: id, addrs: addrs, mbox: newMailbox(), conns: make([]net.Conn, n)}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	e := &TCPEndpoint{id: id, addrs: addrs, mbox: newMailbox(), conns: make([]*tcpConn, n)}
+	for i := range e.conns {
+		e.conns[i] = &tcpConn{}
+	}
 	ln, err := net.Listen("tcp", addrs[id])
 	if err != nil {
 		return nil, fmt.Errorf("comm: listen %s: %w", addrs[id], err)
 	}
 	e.listener = ln
+	if tl, ok := ln.(*net.TCPListener); ok {
+		// Bound Accept by the mesh deadline so a lower-ranked peer that
+		// never dials fails the whole establishment instead of hanging.
+		tl.SetDeadline(deadline)
+	}
 
 	errc := make(chan error, 2)
 	var setup sync.WaitGroup
@@ -58,9 +114,10 @@ func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
 		for i := 0; i < id; i++ {
 			conn, err := ln.Accept()
 			if err != nil {
-				errc <- fmt.Errorf("comm: accept: %w", err)
+				errc <- fmt.Errorf("comm: accept (waiting for %d lower-ranked peers): %w", id-i, err)
 				return
 			}
+			conn.SetDeadline(deadline)
 			var rank [4]byte
 			if _, err := io.ReadFull(conn, rank[:]); err != nil {
 				errc <- fmt.Errorf("comm: handshake read: %w", err)
@@ -71,9 +128,10 @@ func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
 				errc <- fmt.Errorf("comm: unexpected peer rank %d", peer)
 				return
 			}
-			e.mu.Lock()
-			e.conns[peer] = conn
-			e.mu.Unlock()
+			conn.SetDeadline(time.Time{})
+			e.conns[peer].mu.Lock()
+			e.conns[peer].conn = conn
+			e.conns[peer].mu.Unlock()
 		}
 	}()
 
@@ -82,20 +140,22 @@ func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
 	go func() {
 		defer setup.Done()
 		for i := id + 1; i < n; i++ {
-			conn, err := dialRetry(addrs[i])
+			conn, err := dialRetry(addrs[i], deadline)
 			if err != nil {
 				errc <- fmt.Errorf("comm: dial host %d (%s): %w", i, addrs[i], err)
 				return
 			}
+			conn.SetDeadline(deadline)
 			var rank [4]byte
 			binary.LittleEndian.PutUint32(rank[:], uint32(id))
 			if _, err := conn.Write(rank[:]); err != nil {
-				errc <- fmt.Errorf("comm: handshake write: %w", err)
+				errc <- fmt.Errorf("comm: handshake write to host %d: %w", i, err)
 				return
 			}
-			e.mu.Lock()
-			e.conns[i] = conn
-			e.mu.Unlock()
+			conn.SetDeadline(time.Time{})
+			e.conns[i].mu.Lock()
+			e.conns[i].conn = conn
+			e.conns[i].mu.Unlock()
 		}
 	}()
 
@@ -106,21 +166,30 @@ func DialTCP(id int, addrs []string) (*TCPEndpoint, error) {
 		return nil, err
 	default:
 	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Time{})
+	}
 
-	for i, conn := range e.conns {
-		if i == id || conn == nil {
+	for i, c := range e.conns {
+		if i == id || c.conn == nil {
 			continue
 		}
 		e.wg.Add(1)
-		go e.readLoop(i, conn)
+		go e.readLoop(i, c.conn)
 	}
 	return e, nil
 }
 
-func dialRetry(addr string) (net.Conn, error) {
+// dialRetry dials addr until it succeeds or the deadline expires, backing
+// off exponentially between refused attempts (a peer's listener may simply
+// not be up yet) instead of hammering the address in a busy-loop.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	backoff := time.Millisecond
+	const maxBackoff = 250 * time.Millisecond
 	var lastErr error
-	for attempt := 0; attempt < 200; attempt++ {
-		conn, err := net.Dial("tcp", addr)
+	for {
+		d := net.Dialer{Deadline: deadline}
+		conn, err := d.Dial("tcp", addr)
 		if err == nil {
 			if tc, ok := conn.(*net.TCPConn); ok {
 				tc.SetNoDelay(true)
@@ -128,21 +197,46 @@ func dialRetry(addr string) (net.Conn, error) {
 			return conn, nil
 		}
 		lastErr = err
+		if !time.Now().Add(backoff).Before(deadline) {
+			return nil, fmt.Errorf("deadline exceeded, last attempt: %w", lastErr)
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
 	}
-	return nil, lastErr
 }
 
+// readLoop drains one peer connection into the mailbox. Any read error or
+// malformed frame on a live endpoint poisons the peer: blocked receives
+// involving it return *PeerError immediately rather than waiting for a
+// message that will never arrive.
 func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 	defer e.wg.Done()
 	hdr := make([]byte, tcpHeaderLen)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			return // connection closed
+			if !e.closed.Load() {
+				e.mbox.poison(from, fmt.Errorf("connection lost: %w", err))
+			}
+			return
 		}
 		tag := Tag(binary.LittleEndian.Uint32(hdr[0:]))
 		length := binary.LittleEndian.Uint32(hdr[4:])
+		if length > MaxFrameSize {
+			// Validate before allocating: a corrupt header must not drive
+			// a giant allocation, and the stream is unrecoverable once
+			// framing is lost.
+			e.mbox.poison(from, fmt.Errorf("malformed frame: length %d exceeds max %d", length, MaxFrameSize))
+			conn.Close()
+			return
+		}
 		payload := GetBuf(int(length))
 		if _, err := io.ReadFull(conn, payload); err != nil {
+			PutBuf(payload)
+			if !e.closed.Load() {
+				e.mbox.poison(from, fmt.Errorf("truncated frame (wanted %d payload bytes): %w", length, err))
+			}
 			return
 		}
 		e.ctr.msgsRecvd.Add(1)
@@ -157,7 +251,8 @@ func (e *TCPEndpoint) HostID() int { return e.id }
 // NumHosts implements Transport.
 func (e *TCPEndpoint) NumHosts() int { return len(e.addrs) }
 
-// Send implements Transport.
+// Send implements Transport. Writes are serialized per peer connection, so
+// a slow or stalled peer only delays further sends to that same peer.
 func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
 	if to == e.id {
 		e.ctr.msgsSent.Add(1)
@@ -168,26 +263,32 @@ func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
 		return nil
 	}
 	if to < 0 || to >= len(e.addrs) {
+		PutBuf(payload)
 		return fmt.Errorf("comm: send to host %d of %d", to, len(e.addrs))
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.closed {
-		return fmt.Errorf("comm: endpoint closed")
+	c := e.conns[to]
+	c.mu.Lock()
+	if e.closed.Load() || c.conn == nil {
+		c.mu.Unlock()
+		PutBuf(payload)
+		return fmt.Errorf("comm: send to host %d: %w", to, ErrClosed)
 	}
-	conn := e.conns[to]
 	n := len(payload)
 	buf := GetBuf(tcpHeaderLen + n)
 	binary.LittleEndian.PutUint32(buf[0:], uint32(tag))
 	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
 	copy(buf[tcpHeaderLen:], payload)
-	_, err := conn.Write(buf)
+	_, err := c.conn.Write(buf)
+	c.mu.Unlock()
 	PutBuf(buf)
 	// The payload has been copied onto the wire: release it per the
 	// Transport contract so pooled sender buffers are reclaimed here.
 	PutBuf(payload)
 	if err != nil {
-		return fmt.Errorf("comm: send to host %d: %w", to, err)
+		// The conn is shared by both directions — a failed write means the
+		// peer link is gone for reads too.
+		e.mbox.poison(to, fmt.Errorf("send failed: %w", err))
+		return &PeerError{Host: to, Err: err}
 	}
 	e.ctr.msgsSent.Add(1)
 	e.ctr.bytesSent.Add(uint64(n))
@@ -207,6 +308,22 @@ func (e *TCPEndpoint) RecvAny(tag Tag, from []int) (int, []byte, error) {
 // Stats implements Transport.
 func (e *TCPEndpoint) Stats() Stats { return e.ctr.snapshot() }
 
+// FailPeer implements PeerFailer: it poisons the mailbox for the peer and
+// severs its connection, so blocked receives fail with *PeerError and the
+// peer's read loop terminates.
+func (e *TCPEndpoint) FailPeer(host int, err error) {
+	if host < 0 || host >= len(e.addrs) || host == e.id {
+		return
+	}
+	e.mbox.poison(host, err)
+	c := e.conns[host]
+	c.mu.Lock()
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+}
+
 // Addr returns the address this endpoint is actually listening on (useful
 // when the configured address used port 0).
 func (e *TCPEndpoint) Addr() string {
@@ -216,24 +333,25 @@ func (e *TCPEndpoint) Addr() string {
 	return e.listener.Addr().String()
 }
 
-// Close implements Transport.
+// Close implements Transport. It is safe during in-flight collectives:
+// every blocked Recv/RecvAny unblocks with an error wrapping ErrClosed, and
+// further Sends fail.
 func (e *TCPEndpoint) Close() error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	if e.closed.Swap(true) {
 		return nil
 	}
-	e.closed = true
-	conns := e.conns
-	e.mu.Unlock()
-
 	if e.listener != nil {
 		e.listener.Close()
 	}
-	for i, c := range conns {
-		if i != e.id && c != nil {
-			c.Close()
+	for i, c := range e.conns {
+		if i == e.id {
+			continue
 		}
+		c.mu.Lock()
+		if c.conn != nil {
+			c.conn.Close()
+		}
+		c.mu.Unlock()
 	}
 	e.mbox.close()
 	e.wg.Wait()

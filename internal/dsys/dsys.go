@@ -9,6 +9,7 @@
 package dsys
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -133,6 +134,14 @@ func RunPartitioned(parts []*partition.Partition, cfg RunConfig, factory Program
 // RunWithTransports runs over pre-built partitions and caller-supplied
 // transports — one per host, e.g. TCP endpoints for clusters of separate
 // processes (see examples/tcp-cluster).
+//
+// Fault contract: a BSP round is a global rendezvous, so one failed host
+// means the job cannot complete. When any host's driver returns an error,
+// the failure is propagated to every other transport via comm.PeerFailer:
+// survivors blocked in a sync or collective unblock with a *comm.PeerError
+// naming the dead host (cascading host by host until every driver has
+// returned), and RunWithTransports reports the root cause instead of
+// hanging on wg.Wait forever.
 func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg RunConfig, factory ProgramFactory) (*Result, error) {
 	hosts := len(parts)
 	if len(ts) != hosts {
@@ -146,15 +155,45 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 		go func(h int) {
 			defer wg.Done()
 			results[h], errs[h] = runHost(parts[h], ts[h], cfg, factory)
+			if errs[h] != nil {
+				// Fail loudly: declare this host dead to every survivor so
+				// their pending receives return *comm.PeerError instead of
+				// blocking on messages that will never arrive.
+				for i, pt := range ts {
+					if i == h {
+						continue
+					}
+					if pf, ok := pt.(comm.PeerFailer); ok {
+						pf.FailPeer(h, errs[h])
+					}
+				}
+			}
 		}(h)
 	}
 	wg.Wait()
-	for h, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("dsys: host %d: %w", h, err)
-		}
+	if h, err := firstFailure(errs); err != nil {
+		return nil, fmt.Errorf("dsys: host %d: %w", h, err)
 	}
 	return aggregate(parts, results, cfg)
+}
+
+// firstFailure picks the error to report for a failed run. Propagation
+// makes every surviving host fail with a derived *comm.PeerError, so prefer
+// an error that names a peer as the root cause (the host that observed the
+// fault directly); otherwise take the first host error.
+func firstFailure(errs []error) (int, error) {
+	for h, err := range errs {
+		var pe *comm.PeerError
+		if errors.As(err, &pe) {
+			return h, err
+		}
+	}
+	for h, err := range errs {
+		if err != nil {
+			return h, err
+		}
+	}
+	return -1, nil
 }
 
 // hostRun is one host's raw outcome.
