@@ -1,13 +1,16 @@
 # Development targets. `make check` is the required gate before sending
-# changes: formatting, vet, a full build, and the race detector over every
+# changes: formatting, vet, a full build, the race detector over every
 # package (the sync pipeline overlaps encode workers with the receive loop,
-# so gluon and comm must always pass under -race).
+# so gluon and comm must always pass under -race), the trace-overhead guard,
+# and a traced smoke run analyzed by gluon-trace.
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-fault bench sync-bench
+.PHONY: check fmt vet build test race race-fault bench sync-bench trace-guard trace-smoke
 
-check: fmt vet build race-fault race
+# trace-guard runs before the race gates: it measures wall time, and the
+# race suites leave the machine hot enough to skew it.
+check: fmt vet build trace-guard trace-smoke race-fault race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -38,3 +41,15 @@ bench:
 # Regenerate the BENCH_sync.json snapshot at the pinned parameters.
 sync-bench:
 	$(GO) run ./cmd/gluon-bench -sync-json BENCH_sync.json -scale 12 -edgefactor 8 -seed 7 -workers 0
+
+# Trace-overhead guard: the sync hot path with tracing disabled must stay
+# within 5% time and zero allocation regression of the BENCH_sync.json
+# baseline (DESIGN.md §4.3). Same pinned parameters as sync-bench.
+trace-guard:
+	$(GO) run ./cmd/gluon-bench -sync-guard BENCH_sync.json -guard-tol 0.05 -scale 12 -edgefactor 8 -seed 7 -workers 0
+
+# Trace smoke: record a 4-host BFS run, then run the analyzer over the
+# export — proves the end-to-end trace path (emit, export, parse, tables).
+trace-smoke:
+	$(GO) run ./cmd/gluon-run -bench bfs -hosts 4 -scale 10 -edgefactor 8 -trace /tmp/gluon-trace-smoke.json
+	$(GO) run ./cmd/gluon-trace /tmp/gluon-trace-smoke.json

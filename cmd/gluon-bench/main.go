@@ -21,6 +21,7 @@ import (
 
 	"gluon/internal/bench"
 	"gluon/internal/comm"
+	"gluon/internal/trace"
 )
 
 func main() {
@@ -38,6 +39,13 @@ func main() {
 		netLat  = flag.Duration("net-latency", 50*time.Microsecond, "simulated per-message link latency (0 disables)")
 		netBW   = flag.Float64("net-bandwidth", 50e6, "simulated link bandwidth, bytes/s (0 = infinite)")
 		syncOut = flag.String("sync-json", "", "run the sync hot-path microbenchmark and write JSON to this file (\"-\" for stdout), then exit")
+
+		syncGuard = flag.String("sync-guard", "", "compare the sync hot path (tracing disabled) against this baseline JSON and exit non-zero on regression")
+		guardTol  = flag.Float64("guard-tol", 0.05, "fractional ns/op tolerance for -sync-guard (allocs/op may never regress)")
+
+		traceOut     = flag.String("trace", "", "record every Gluon-based run into a trace file (Chrome trace_event JSON; .jsonl suffix = JSONL)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters as JSON over HTTP at this address")
+		traceSummary = flag.Duration("trace-summary", 0, "print periodic trace summaries to stderr at this interval")
 	)
 	flag.Parse()
 
@@ -55,6 +63,32 @@ func main() {
 	}
 	if p.Devices, err = parseInts(*devices); err != nil {
 		fatal(err)
+	}
+
+	if *syncGuard != "" {
+		if err := bench.GuardSyncBench(os.Stdout, p, *syncGuard, *guardTol); err != nil {
+			fatal(err)
+		}
+		fmt.Println("sync hot path within tolerance of baseline ✓")
+		return
+	}
+
+	var tr *trace.Trace
+	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 {
+		tr = trace.New(trace.Config{Label: "gluon-bench sweep"})
+		p.Trace = tr
+		if *metricsAddr != "" {
+			ms, err := trace.ServeMetrics(*metricsAddr, tr)
+			if err != nil {
+				fatal(err)
+			}
+			defer ms.Close()
+			fmt.Fprintf(os.Stderr, "gluon-bench: serving trace metrics at http://%s/metrics\n", ms.Addr())
+		}
+		if *traceSummary > 0 {
+			stop := trace.StartSummary(os.Stderr, tr, *traceSummary)
+			defer stop()
+		}
 	}
 
 	if *syncOut != "" {
@@ -134,6 +168,16 @@ func main() {
 	}
 	if ran == 0 {
 		fatal(fmt.Errorf("no experiment matched -table %d -figure %q", *table, *figure))
+	}
+	if tr != nil && *traceOut != "" {
+		if err := tr.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gluon-bench: wrote %d trace events to %s (analyze with gluon-trace %s)\n",
+			tr.Live().Events, *traceOut, *traceOut)
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "gluon-bench: warning: %d events dropped to ring overwrites; totals undercount\n", d)
+		}
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"gluon"
 	"gluon/internal/gemini"
 	"gluon/internal/gio"
+	"gluon/internal/trace"
 	"gluon/internal/validate"
 )
 
@@ -36,8 +37,31 @@ func main() {
 		unopt    = flag.Bool("unopt", false, "disable Gluon's communication optimizations")
 		verify   = flag.Bool("verify", false, "collect values and print a result digest")
 		check    = flag.Bool("validate", false, "property-check the result (graph500-style, no reference recomputation)")
+
+		traceOut     = flag.String("trace", "", "write a trace of the run (Chrome trace_event JSON; .jsonl suffix = JSONL)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters as JSON over HTTP at this address")
+		traceSummary = flag.Duration("trace-summary", 0, "print periodic trace summaries to stderr at this interval")
 	)
 	flag.Parse()
+
+	// Any observability flag turns tracing on; the trace object is shared by
+	// the substrate, the metrics endpoint, and the periodic summary.
+	var tr *trace.Trace
+	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 {
+		tr = trace.New(trace.Config{Label: fmt.Sprintf("gluon-run %s/%s", *system, *benchFlg)})
+		if *metricsAddr != "" {
+			ms, err := trace.ServeMetrics(*metricsAddr, tr)
+			if err != nil {
+				fatal(err)
+			}
+			defer ms.Close()
+			fmt.Fprintf(os.Stderr, "gluon-run: serving trace metrics at http://%s/metrics\n", ms.Addr())
+		}
+		if *traceSummary > 0 {
+			stop := trace.StartSummary(os.Stderr, tr, *traceSummary)
+			defer stop()
+		}
+	}
 
 	weighted := *benchFlg == "sssp" || *benchFlg == "sssp-delta"
 	var numNodes uint64
@@ -68,6 +92,9 @@ func main() {
 	source := uint64(csr.MaxOutDegreeNode())
 
 	if *system == "gemini" {
+		if tr != nil {
+			fmt.Fprintln(os.Stderr, "gluon-run: warning: the gemini baseline is not instrumented; trace output will be empty")
+		}
 		res, err := gemini.Run(numNodes, edges, gemini.Algorithm(*benchFlg), gemini.Config{
 			Hosts: *hosts, Workers: *workers, Source: source,
 			Tolerance: 1e-6, MaxIters: 100, CollectValues: *verify,
@@ -80,6 +107,7 @@ func main() {
 		if *verify {
 			printDigest(res.Values)
 		}
+		writeTrace(tr, *traceOut)
 		return
 	}
 
@@ -129,12 +157,14 @@ func main() {
 		Opt:           opt,
 		CollectValues: *verify || *check,
 		MaxRounds:     maxRounds,
+		Trace:         tr,
 	}, factory)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("system=%s bench=%s policy=%s hosts=%d time=%v rounds=%d comm=%d bytes imbalance=%.2f\n",
 		*system, *benchFlg, *policy, *hosts, res.Time, res.Rounds, res.TotalCommBytes, res.LoadImbalance())
+	writeTrace(tr, *traceOut)
 	if *verify {
 		printDigest(res.Values)
 	}
@@ -190,6 +220,23 @@ func printDigest(values []float64) {
 		}
 	}
 	fmt.Printf("digest: %d/%d nodes with finite values, sum=%.6g\n", reached, len(values), sum)
+}
+
+// writeTrace exports the trace (if one was recorded and a path given) and
+// reports how much it captured; a non-zero drop count means the ring
+// overwrote old events and totals will undercount.
+func writeTrace(tr *trace.Trace, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	events := tr.Live().Events
+	fmt.Fprintf(os.Stderr, "gluon-run: wrote %d trace events to %s (analyze with gluon-trace %s)\n", events, path, path)
+	if d := tr.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "gluon-run: warning: %d events dropped to ring overwrites; raise trace.Config.Capacity\n", d)
+	}
 }
 
 func fatal(err error) {

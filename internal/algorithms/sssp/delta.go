@@ -34,10 +34,13 @@ func NewGaloisDelta(source uint64, delta uint32, workers int) dsys.ProgramFactor
 		if err != nil {
 			return nil, err
 		}
-		if delta == 0 {
-			delta = DefaultDelta
+		// Don't write the captured delta: the factory runs concurrently on
+		// every host.
+		d := delta
+		if d == 0 {
+			d = DefaultDelta
 		}
-		return &deltaProgram{common: c, delta: delta, workers: workers}, nil
+		return &deltaProgram{common: c, delta: d, workers: workers}, nil
 	}
 }
 

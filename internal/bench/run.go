@@ -43,8 +43,11 @@ type Measurement struct {
 	Spec       Spec
 	Time       time.Duration
 	MaxCompute time.Duration
-	CommBytes  uint64
-	Rounds     int
+	// MaxComm sums per-round maxima of measured sync time across hosts
+	// (dsys.Result.MaxComm); zero for systems that don't report it.
+	MaxComm   time.Duration
+	CommBytes uint64
+	Rounds    int
 }
 
 // CommTime returns the non-overlapping communication estimate (wall minus
@@ -143,12 +146,14 @@ func RunSpec(s Spec, w *Workload, p Params) (Measurement, error) {
 		PolicyOptions: popt,
 		MaxRounds:     maxRounds,
 		Net:           p.Net,
+		Trace:         p.Trace,
 	}, factory)
 	if err != nil {
 		return m, err
 	}
 	m.Time = res.Time
 	m.MaxCompute = res.MaxCompute
+	m.MaxComm = res.MaxComm
 	m.CommBytes = res.TotalCommBytes
 	m.Rounds = res.Rounds
 	return m, nil
@@ -173,12 +178,14 @@ func RunSpecPartitioned(s Spec, w *Workload, p Params, parts []*partition.Partit
 		Opt:       s.Opt,
 		MaxRounds: maxRounds,
 		Net:       p.Net,
+		Trace:     p.Trace,
 	}, factory)
 	if err != nil {
 		return m, err
 	}
 	m.Time = res.Time
 	m.MaxCompute = res.MaxCompute
+	m.MaxComm = res.MaxComm
 	m.CommBytes = res.TotalCommBytes
 	m.Rounds = res.Rounds
 	return m, nil

@@ -9,8 +9,10 @@ package bench
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"testing"
 
@@ -140,23 +142,39 @@ func (c *syncBenchCluster) syncAll() error {
 	return nil
 }
 
-// SyncBench measures the sync hot path per encoding mode × host count.
-func SyncBench(p Params) (*SyncBenchReport, error) {
-	encodings := []struct {
-		name string
-		opt  gluon.Options
-	}{
+// encSpec pairs an encoding name with its options.
+type encSpec struct {
+	name string
+	opt  gluon.Options
+}
+
+func allEncodings() []encSpec {
+	return []encSpec{
 		{"auto", gluon.Opt()},
 		{"dense", withEncoding(gluon.EncodingDense)},
 		{"bitvec", withEncoding(gluon.EncodingBitvec)},
 		{"indices", withEncoding(gluon.EncodingIndices)},
 		{"unopt", gluon.Unopt()},
 	}
+}
+
+// SyncBench measures the sync hot path per encoding mode × host count.
+func SyncBench(p Params) (*SyncBenchReport, error) {
+	return syncBenchFor(p, []int{2, 8}, allEncodings())
+}
+
+// measureReps repeats each row's measurement and keeps the fastest: wall
+// time on a shared machine is noisy, and load spikes only ever inflate a
+// rep, so the min estimates the true cost. Allocations are deterministic
+// and identical across reps.
+const measureReps = 5
+
+func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchReport, error) {
 	rep := &SyncBenchReport{
 		Graph:   fmt.Sprintf("rmat scale=%d ef=%d seed=%d cvc", p.Scale, p.EdgeFactor, p.Seed),
 		Workers: p.Workers,
 	}
-	for _, hosts := range []int{2, 8} {
+	for _, hosts := range hostCounts {
 		for _, e := range encodings {
 			opt := e.opt
 			opt.SyncWorkers = p.Workers
@@ -165,23 +183,29 @@ func SyncBench(p Params) (*SyncBenchReport, error) {
 				return nil, fmt.Errorf("sync bench hosts=%d %s: %w", hosts, e.name, err)
 			}
 			var benchErr error
-			r := testing.Benchmark(func(b *testing.B) {
-				// Warm one round so memoization and pools are primed.
-				c.markUpdates(0)
-				if err := c.syncAll(); err != nil {
-					benchErr = err
-					b.SkipNow()
-				}
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					c.markUpdates(i + 1)
+			var best testing.BenchmarkResult
+			for trial := 0; trial < measureReps && benchErr == nil; trial++ {
+				r := testing.Benchmark(func(b *testing.B) {
+					// Warm one round so memoization and pools are primed.
+					c.markUpdates(0)
 					if err := c.syncAll(); err != nil {
 						benchErr = err
 						b.SkipNow()
 					}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						c.markUpdates(i + 1)
+						if err := c.syncAll(); err != nil {
+							benchErr = err
+							b.SkipNow()
+						}
+					}
+				})
+				if trial == 0 || r.NsPerOp() < best.NsPerOp() {
+					best = r
 				}
-			})
+			}
 			c.close()
 			if benchErr != nil {
 				return nil, fmt.Errorf("sync bench hosts=%d %s: %w", hosts, e.name, benchErr)
@@ -189,9 +213,9 @@ func SyncBench(p Params) (*SyncBenchReport, error) {
 			rep.Results = append(rep.Results, SyncBenchResult{
 				Hosts:       hosts,
 				Encoding:    e.name,
-				NsPerOp:     r.NsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				AllocsPerOp: r.AllocsPerOp(),
+				NsPerOp:     best.NsPerOp(),
+				BytesPerOp:  best.AllocedBytesPerOp(),
+				AllocsPerOp: best.AllocsPerOp(),
 			})
 		}
 	}
@@ -213,4 +237,135 @@ func WriteSyncBenchJSON(w io.Writer, p Params) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// CompareSyncBench checks cur against base row by row (matched on
+// hosts × encoding): time per op may regress by at most tol (fractional,
+// e.g. 0.05), allocations per op may not regress at all (they are
+// machine-independent, so any increase is a real hot-path change). Rows
+// present in only one report are ignored. All violations are reported.
+func CompareSyncBench(base, cur *SyncBenchReport, tol float64) error {
+	type key struct {
+		hosts    int
+		encoding string
+	}
+	baseRows := make(map[key]SyncBenchResult, len(base.Results))
+	for _, r := range base.Results {
+		baseRows[key{r.Hosts, r.Encoding}] = r
+	}
+	var violations []string
+	for _, c := range cur.Results {
+		b, ok := baseRows[key{c.Hosts, c.Encoding}]
+		if !ok {
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf(
+				"hosts=%d %s: allocs/op regressed %d -> %d", c.Hosts, c.Encoding, b.AllocsPerOp, c.AllocsPerOp))
+		}
+		if limit := float64(b.NsPerOp) * (1 + tol); float64(c.NsPerOp) > limit {
+			violations = append(violations, fmt.Sprintf(
+				"hosts=%d %s: ns/op regressed %d -> %d (>%.0f%% over baseline)",
+				c.Hosts, c.Encoding, b.NsPerOp, c.NsPerOp, tol*100))
+		}
+	}
+	if len(violations) > 0 {
+		msg := "sync hot-path regression vs baseline:"
+		for _, v := range violations {
+			msg += "\n  " + v
+		}
+		return errors.New(msg)
+	}
+	return nil
+}
+
+// GuardSyncBench is the trace-overhead guard behind `make check`: it
+// re-measures a subset of the sync hot path with tracing disabled (the
+// default — no recorder attached) and fails if time regresses more than
+// tol or allocations regress at all versus the baseline report at
+// baselinePath (BENCH_sync.json). The guard measures auto and unopt at
+// both host counts: those cover both wire formats and all instrumented
+// paths; the forced-encoding rows only vary payload layout.
+//
+// Both the baseline and the guard measurement are min-over-reps (see
+// measureReps), so a tight tol stays meaningful on a noisy machine. Rows
+// that still exceed tol are re-measured up to guardRetries times before
+// the guard fails: a transient load spike clears on a later measurement,
+// a real hot-path regression does not. Allocation regressions are
+// deterministic, so retries never mask one.
+func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("bench: reading baseline: %w", err)
+	}
+	var base SyncBenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
+	}
+	guardOpts := map[string]gluon.Options{"auto": gluon.Opt(), "unopt": gluon.Unopt()}
+	guard := []encSpec{{"auto", guardOpts["auto"]}, {"unopt", guardOpts["unopt"]}}
+	cur, err := syncBenchFor(p, []int{2, 8}, guard)
+	if err != nil {
+		return err
+	}
+	if cur.Graph != base.Graph || cur.Workers != base.Workers {
+		return fmt.Errorf("bench: guard config %q workers=%d does not match baseline %q workers=%d — rerun `make sync-bench`",
+			cur.Graph, cur.Workers, base.Graph, base.Workers)
+	}
+	const guardRetries = 2
+	for retry := 0; retry < guardRetries; retry++ {
+		bad := violatingRows(&base, cur, tol)
+		if len(bad) == 0 {
+			break
+		}
+		fmt.Fprintf(w, "re-measuring %d row(s) over tolerance (transient-load check %d/%d)\n",
+			len(bad), retry+1, guardRetries)
+		for _, i := range bad {
+			row := cur.Results[i]
+			rp, err := syncBenchFor(p, []int{row.Hosts}, []encSpec{{row.Encoding, guardOpts[row.Encoding]}})
+			if err != nil {
+				return err
+			}
+			nr := rp.Results[0]
+			if nr.NsPerOp < cur.Results[i].NsPerOp {
+				cur.Results[i].NsPerOp = nr.NsPerOp
+			}
+			fmt.Fprintf(w, "  hosts=%d %s: %d ns/op\n", row.Hosts, row.Encoding, cur.Results[i].NsPerOp)
+		}
+	}
+	baseRows := map[string]SyncBenchResult{}
+	for _, r := range base.Results {
+		baseRows[fmt.Sprintf("%d/%s", r.Hosts, r.Encoding)] = r
+	}
+	fmt.Fprintf(w, "%-6s %-8s %12s %12s %8s %10s %10s\n", "hosts", "encoding", "base ns/op", "cur ns/op", "delta", "base a/op", "cur a/op")
+	for _, c := range cur.Results {
+		b := baseRows[fmt.Sprintf("%d/%s", c.Hosts, c.Encoding)]
+		delta := "n/a"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(float64(c.NsPerOp)/float64(b.NsPerOp)-1))
+		}
+		fmt.Fprintf(w, "%-6d %-8s %12d %12d %8s %10d %10d\n",
+			c.Hosts, c.Encoding, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp)
+	}
+	return CompareSyncBench(&base, cur, tol)
+}
+
+// violatingRows returns indices into cur.Results whose row regresses
+// versus its baseline counterpart (time beyond tol, or any alloc growth).
+func violatingRows(base, cur *SyncBenchReport, tol float64) []int {
+	baseRows := map[string]SyncBenchResult{}
+	for _, r := range base.Results {
+		baseRows[fmt.Sprintf("%d/%s", r.Hosts, r.Encoding)] = r
+	}
+	var bad []int
+	for i, c := range cur.Results {
+		b, ok := baseRows[fmt.Sprintf("%d/%s", c.Hosts, c.Encoding)]
+		if !ok {
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp || float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
 }

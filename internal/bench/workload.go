@@ -19,6 +19,7 @@ import (
 	"gluon/internal/graph"
 	"gluon/internal/partition"
 	"gluon/internal/ref"
+	"gluon/internal/trace"
 )
 
 // Params sizes the experiment sweeps. The zero value is not valid; use
@@ -46,6 +47,9 @@ type Params struct {
 	// bandwidth is scaled down to keep the communication/computation ratio
 	// in the paper's network-bound regime.
 	Net comm.NetModel
+	// Trace, when non-nil, records every Gluon-based run of the sweep into
+	// one tracing session (gemini runs are not instrumented).
+	Trace *trace.Trace
 }
 
 // DefaultParams is the standard configuration for cmd/gluon-bench: scaled

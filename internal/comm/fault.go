@@ -18,6 +18,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"gluon/internal/trace"
 )
 
 // Injected fault causes, distinguishable via errors.Is on the *PeerError's
@@ -66,8 +68,9 @@ type FaultConfig struct {
 // FaultTransport implements Transport (and PeerFailer) over an inner
 // transport, injecting the faults described by its FaultConfig.
 type FaultTransport struct {
-	inner Transport
-	cfg   FaultConfig
+	inner  Transport
+	cfg    FaultConfig
+	tracer traceRef
 
 	mu        sync.Mutex
 	rng       *rand.Rand
@@ -84,6 +87,16 @@ func NewFaultTransport(t Transport, cfg FaultConfig) *FaultTransport {
 
 // Inner returns the wrapped transport.
 func (f *FaultTransport) Inner() Transport { return f.inner }
+
+// SetTrace implements TraceCarrier: injected faults are recorded here, and
+// the recorder is passed through so the wrapped transport's frame-level
+// events land in the same timeline.
+func (f *FaultTransport) SetTrace(r *trace.Recorder) {
+	f.tracer.SetTrace(r)
+	if tc, ok := f.inner.(TraceCarrier); ok {
+		tc.SetTrace(r)
+	}
+}
 
 // HostID implements Transport.
 func (f *FaultTransport) HostID() int { return f.inner.HostID() }
@@ -117,12 +130,14 @@ func (f *FaultTransport) Send(to int, tag Tag, payload []byte) error {
 	f.mu.Unlock()
 
 	if kill {
+		traceFaultf(f.tracer.rec(), f.cfg.KillPeer, "injected kill after %d sends", f.cfg.KillAfterSends)
 		f.failPeerInner(f.cfg.KillPeer, ErrInjectedFault)
 		// The transport owns the payload even when the send fails.
 		PutBuf(payload)
 		return &PeerError{Host: f.cfg.KillPeer, Err: ErrInjectedFault}
 	}
 	if delay > 0 {
+		traceFaultf(f.tracer.rec(), to, "injected delay %v", delay)
 		time.Sleep(delay)
 	}
 	return f.inner.Send(to, tag, payload)
@@ -168,6 +183,7 @@ func (f *FaultTransport) truncateThis() bool {
 // truncate discards a received payload as a malformed frame and poisons its
 // sender, mirroring what the TCP read loop does on a short read.
 func (f *FaultTransport) truncate(from int, payload []byte) error {
+	traceFaultf(f.tracer.rec(), from, "injected truncated frame (%d bytes discarded)", len(payload))
 	PutBuf(payload)
 	f.failPeerInner(from, ErrTruncatedFrame)
 	return &PeerError{Host: from, Err: fmt.Errorf("%w (payload discarded)", ErrTruncatedFrame)}

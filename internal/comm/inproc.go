@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"gluon/internal/trace"
 )
 
 // Hub connects n in-process endpoints. Hosts are goroutines; Send is a
@@ -84,6 +86,7 @@ type inprocEndpoint struct {
 	id   int
 	mbox *mailbox
 	ctr  counters
+	traceRef
 }
 
 func (e *inprocEndpoint) HostID() int   { return e.id }
@@ -103,15 +106,24 @@ func (e *inprocEndpoint) Send(to int, tag Tag, payload []byte) error {
 	} else {
 		dst.mbox.put(e.id, tag, payload)
 	}
+	traceFrame(e.rec(), trace.PhaseFrameSend, to, tag, len(payload))
 	return nil
 }
 
 func (e *inprocEndpoint) Recv(from int, tag Tag) ([]byte, error) {
-	return e.mbox.get(from, tag)
+	p, err := e.mbox.get(from, tag)
+	if err == nil {
+		traceFrame(e.rec(), trace.PhaseFrameRecv, from, tag, len(p))
+	}
+	return p, err
 }
 
 func (e *inprocEndpoint) RecvAny(tag Tag, from []int) (int, []byte, error) {
-	return e.mbox.getAny(tag, from)
+	h, p, err := e.mbox.getAny(tag, from)
+	if err == nil {
+		traceFrame(e.rec(), trace.PhaseFrameRecv, h, tag, len(p))
+	}
+	return h, p, err
 }
 
 func (e *inprocEndpoint) Stats() Stats { return e.ctr.snapshot() }
@@ -122,6 +134,7 @@ func (e *inprocEndpoint) Stats() Stats { return e.ctr.snapshot() }
 // calls this when a host fails, making the survivors' blocked receives
 // return *PeerError instead of hanging.
 func (e *inprocEndpoint) FailPeer(host int, err error) {
+	traceFaultf(e.rec(), host, "peer declared dead: %v", err)
 	e.mbox.poison(host, err)
 }
 

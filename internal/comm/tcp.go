@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"gluon/internal/trace"
 )
 
 // TCPEndpoint is a Transport over real sockets. Each endpoint listens on an
@@ -30,11 +32,19 @@ type TCPEndpoint struct {
 	addrs []string
 	mbox  *mailbox
 	ctr   counters
+	traceRef
 
 	conns    []*tcpConn // conns[i] carries traffic to/from host i; conns[id] unused
 	listener net.Listener
 	wg       sync.WaitGroup
 	closed   atomic.Bool
+}
+
+// poison marks a peer dead on the mailbox, emitting a fault trace event so
+// fault-suite runs produce a readable timeline.
+func (e *TCPEndpoint) poison(from int, err error) {
+	traceFaultf(e.rec(), from, "peer poisoned: %v", err)
+	e.mbox.poison(from, err)
 }
 
 // tcpConn is one peer link. Writes are serialized per connection — not per
@@ -217,7 +227,7 @@ func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
 			if !e.closed.Load() {
-				e.mbox.poison(from, fmt.Errorf("connection lost: %w", err))
+				e.poison(from, fmt.Errorf("connection lost: %w", err))
 			}
 			return
 		}
@@ -227,7 +237,7 @@ func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 			// Validate before allocating: a corrupt header must not drive
 			// a giant allocation, and the stream is unrecoverable once
 			// framing is lost.
-			e.mbox.poison(from, fmt.Errorf("malformed frame: length %d exceeds max %d", length, MaxFrameSize))
+			e.poison(from, fmt.Errorf("malformed frame: length %d exceeds max %d", length, MaxFrameSize))
 			conn.Close()
 			return
 		}
@@ -235,13 +245,14 @@ func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			PutBuf(payload)
 			if !e.closed.Load() {
-				e.mbox.poison(from, fmt.Errorf("truncated frame (wanted %d payload bytes): %w", length, err))
+				e.poison(from, fmt.Errorf("truncated frame (wanted %d payload bytes): %w", length, err))
 			}
 			return
 		}
 		e.ctr.msgsRecvd.Add(1)
 		e.ctr.bytesRecvd.Add(uint64(length))
 		e.mbox.put(from, tag, payload)
+		traceFrame(e.rec(), trace.PhaseFrameRecv, from, tag, int(length))
 	}
 }
 
@@ -287,11 +298,12 @@ func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
 	if err != nil {
 		// The conn is shared by both directions — a failed write means the
 		// peer link is gone for reads too.
-		e.mbox.poison(to, fmt.Errorf("send failed: %w", err))
+		e.poison(to, fmt.Errorf("send failed: %w", err))
 		return &PeerError{Host: to, Err: err}
 	}
 	e.ctr.msgsSent.Add(1)
 	e.ctr.bytesSent.Add(uint64(n))
+	traceFrame(e.rec(), trace.PhaseFrameSend, to, tag, n)
 	return nil
 }
 
@@ -315,6 +327,7 @@ func (e *TCPEndpoint) FailPeer(host int, err error) {
 	if host < 0 || host >= len(e.addrs) || host == e.id {
 		return
 	}
+	traceFaultf(e.rec(), host, "peer declared dead: %v", err)
 	e.mbox.poison(host, err)
 	c := e.conns[host]
 	c.mu.Lock()

@@ -1,0 +1,47 @@
+package comm
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"gluon/internal/trace"
+)
+
+// TraceCarrier is implemented by transports that can emit frame-level trace
+// events (per-frame send/recv instants, poisonings, dead-host declarations,
+// injected faults) into a per-host recorder. The dsys runner attaches each
+// host's recorder through it when a run is traced.
+type TraceCarrier interface {
+	SetTrace(r *trace.Recorder)
+}
+
+// traceRef is the recorder slot transports embed. It is atomic because the
+// recorder can be attached while transport goroutines (the TCP read loops)
+// are already running.
+type traceRef struct {
+	p atomic.Pointer[trace.Recorder]
+}
+
+// SetTrace implements TraceCarrier for embedders.
+func (t *traceRef) SetTrace(r *trace.Recorder) { t.p.Store(r) }
+
+// rec returns the attached recorder (nil when tracing is off).
+func (t *traceRef) rec() *trace.Recorder { return t.p.Load() }
+
+// traceFrame emits a frame-level instant: one transport frame of n payload
+// bytes to/from peer under tag.
+func traceFrame(r *trace.Recorder, ph trace.Phase, peer int, tag Tag, n int) {
+	if !r.Enabled() {
+		return
+	}
+	r.Emit(trace.Event{Phase: ph, Start: r.Now(), Peer: int32(peer), Field: uint32(tag), Value: uint64(n)})
+}
+
+// traceFaultf emits a fault instant involving peer. Formatting only happens
+// when tracing is live.
+func traceFaultf(r *trace.Recorder, peer int, format string, args ...any) {
+	if !r.Enabled() {
+		return
+	}
+	r.Emit(trace.Event{Phase: trace.PhaseFault, Start: r.Now(), Peer: int32(peer), Detail: fmt.Sprintf(format, args...)})
+}

@@ -19,6 +19,7 @@ import (
 	"gluon/internal/gluon"
 	"gluon/internal/graph"
 	"gluon/internal/partition"
+	"gluon/internal/trace"
 )
 
 // Program is one host's instance of a vertex program bound to a concrete
@@ -68,10 +69,17 @@ type Result struct {
 	MaxCompute time.Duration
 	// TotalCommBytes is the global field-sync communication volume.
 	TotalCommBytes uint64
+	// MaxComm sums per-round maxima of sync time across hosts — the
+	// communication analogue of MaxCompute, so compute/comm skew is
+	// visible without tracing.
+	MaxComm time.Duration
 	// RoundCompute[r] is the max-across-hosts compute time of round r (the
 	// per-round series behind MaxCompute, for figure-style traces).
 	RoundCompute []time.Duration
-	Hosts        []HostResult
+	// RoundComm[r] is the max-across-hosts sync time (Gluon sync +
+	// termination detection) of round r, the series behind MaxComm.
+	RoundComm []time.Duration
+	Hosts     []HostResult
 	// Values holds the converged labels indexed by global ID (collected
 	// from masters) when CollectValues was set.
 	Values []float64
@@ -91,6 +99,10 @@ type RunConfig struct {
 	// wall-clock time sensitive to communication volume as it is on real
 	// clusters. Zero value = instant delivery.
 	Net comm.NetModel
+	// Trace, when non-nil, records per-phase spans from every host's
+	// substrate, transport, and BSP driver into one session (export with
+	// Trace.WriteFile, analyze with cmd/gluon-trace). Nil disables tracing.
+	Trace *trace.Trace
 }
 
 // Run partitions the graph, spins up one goroutine per host over an
@@ -201,6 +213,7 @@ type hostRun struct {
 	res          HostResult
 	wall         time.Duration
 	perRoundComp []time.Duration
+	perRoundSync []time.Duration
 	values       map[uint64]float64
 	name         string
 }
@@ -211,6 +224,17 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 	if err != nil {
 		return nil, err
 	}
+	// Attach this host's trace recorder to the substrate and, when the
+	// transport can carry frame-level events, to the transport too. Events
+	// emitted before the first round (Init syncs) are stamped round -1.
+	rec := cfg.Trace.Recorder(p.HostID)
+	if rec != nil {
+		g.SetRecorder(rec)
+		if tc, ok := t.(comm.TraceCarrier); ok {
+			tc.SetTrace(rec)
+		}
+	}
+	tr := rec.Enabled()
 	prog, err := factory(p, g)
 	if err != nil {
 		return nil, err
@@ -230,10 +254,18 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
 		}
+		rec.SetRound(int32(round))
 		compStart := time.Now()
+		var t0 int64
+		if tr {
+			t0 = rec.Now()
+		}
 		updated, err := prog.Round(frontier)
 		if err != nil {
 			return nil, err
+		}
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseCompute, Start: t0, Dur: rec.Now() - t0, Peer: -1})
 		}
 		comp := time.Since(compStart)
 		hr.res.ComputeTime += comp
@@ -244,11 +276,22 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 			return nil, err
 		}
 		active := uint64(updated.Count())
+		if tr {
+			t0 = rec.Now()
+		}
 		global, err := g.AllReduceSum(active)
 		if err != nil {
 			return nil, err
 		}
-		hr.res.SyncTime += time.Since(syncStart)
+		if tr {
+			// The termination all-reduce doubles as the round barrier, so
+			// this span is the host's straggler wait.
+			rec.Emit(trace.Event{Phase: trace.PhaseBarrier, Start: t0, Dur: rec.Now() - t0,
+				Peer: -1, Detail: "termination"})
+		}
+		syncDur := time.Since(syncStart)
+		hr.res.SyncTime += syncDur
+		hr.perRoundSync = append(hr.perRoundSync, syncDur)
 		round++
 		if global == 0 {
 			break
@@ -291,17 +334,25 @@ func aggregate(parts []*partition.Partition, runs []*hostRun, cfg RunConfig) (*R
 		res.Hosts = append(res.Hosts, r.res)
 	}
 	res.Rounds = maxRounds
-	// Per-round max across hosts, summed: the paper's max-compute metric.
+	// Per-round max across hosts, summed: the paper's max-compute metric,
+	// and the same aggregation for sync time so the compute/comm skew per
+	// round is visible side by side.
 	res.RoundCompute = make([]time.Duration, maxRounds)
+	res.RoundComm = make([]time.Duration, maxRounds)
 	for round := 0; round < maxRounds; round++ {
-		var m time.Duration
+		var mc, ms time.Duration
 		for _, r := range runs {
-			if round < len(r.perRoundComp) && r.perRoundComp[round] > m {
-				m = r.perRoundComp[round]
+			if round < len(r.perRoundComp) && r.perRoundComp[round] > mc {
+				mc = r.perRoundComp[round]
+			}
+			if round < len(r.perRoundSync) && r.perRoundSync[round] > ms {
+				ms = r.perRoundSync[round]
 			}
 		}
-		res.RoundCompute[round] = m
-		res.MaxCompute += m
+		res.RoundCompute[round] = mc
+		res.MaxCompute += mc
+		res.RoundComm[round] = ms
+		res.MaxComm += ms
 	}
 	if cfg.CollectValues {
 		res.Values = make([]float64, parts[0].GlobalNodes)

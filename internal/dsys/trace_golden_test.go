@@ -1,0 +1,208 @@
+package dsys_test
+
+// Trace golden tests: the observability layer must agree exactly with the
+// substrate's own accounting. Encode spans carry per-message byte tags
+// (value / metadata / GID split) snapshotted from the worker's Stats deltas,
+// so summing them over a whole run must reproduce gluon.Stats and the
+// golden-volume numbers byte for byte — if these drift, the trace is lying
+// about what went on the wire.
+
+import (
+	"testing"
+
+	"gluon/internal/algorithms/bfs"
+	"gluon/internal/dsys"
+	"gluon/internal/generate"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+	"gluon/internal/trace"
+)
+
+// traceEncodeTotals folds every encode span of a snapshot.
+type traceEncodeTotals struct {
+	spans      uint64
+	value      uint64
+	meta       uint64
+	gid        uint64
+	modes      [trace.NumModes]uint64
+	frameSends uint64
+}
+
+func foldEncodeSpans(events []trace.Event) traceEncodeTotals {
+	var tot traceEncodeTotals
+	for _, e := range events {
+		switch e.Phase {
+		case trace.PhaseEncode:
+			tot.spans++
+			tot.value += e.Value
+			tot.meta += e.Meta
+			tot.gid += e.GID
+			if e.Mode >= 0 && int(e.Mode) < trace.NumModes {
+				tot.modes[e.Mode]++
+			}
+		case trace.PhaseFrameSend:
+			tot.frameSends++
+		}
+	}
+	return tot
+}
+
+// TestTraceMatchesGoldenVolumes replays the bfs/cvc/osti golden-volume row
+// (8 hosts, rmat scale 10) with tracing attached and checks the trace
+// against the pinned numbers: one encode span per message, byte tags
+// summing to the golden volume, and the golden encoding-mode histogram.
+func TestTraceMatchesGoldenVolumes(t *testing.T) {
+	const golden = 3 // goldenRows index of bfs/cvc/osti
+	row := goldenRows[golden]
+	if row.alg != "bfs" || row.policy != partition.CVC || row.config != "osti" {
+		t.Fatalf("goldenRows[%d] is %s/%s/%s, want bfs/cvc/osti", golden, row.alg, row.policy, row.config)
+	}
+
+	cfg := generate.Config{Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 42}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numNodes := cfg.NumNodes()
+	outDeg := make([]uint32, numNodes)
+	inDeg := make([]uint32, numNodes)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+
+	tr := trace.New(trace.Config{Label: "golden"})
+	res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+		Hosts:         8,
+		Policy:        row.policy,
+		Opt:           goldenOpt(row.config),
+		PolicyOptions: partition.Options{OutDegrees: outDeg, InDegrees: inDeg},
+		MaxRounds:     50,
+		Trace:         tr,
+	}, bfs.NewLigra(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != row.rounds {
+		t.Fatalf("rounds = %d, golden %d (fixture drifted; trace assertions would be meaningless)", res.Rounds, row.rounds)
+	}
+
+	events, dropped := tr.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped %d events; raise trace.Config.Capacity for this test", dropped)
+	}
+	tot := foldEncodeSpans(events)
+	if tot.spans != row.msgs {
+		t.Errorf("encode spans = %d, golden messages %d", tot.spans, row.msgs)
+	}
+	if got := tot.value + tot.meta + tot.gid; got != row.bytes {
+		t.Errorf("encode byte tags sum to %d, golden volume %d", got, row.bytes)
+	}
+	if tot.modes != row.modes {
+		t.Errorf("encode mode histogram = %v, golden %v", tot.modes, row.modes)
+	}
+	// Every sync message crosses the transport, so the frame-level send
+	// instants must cover at least the sync messages (termination-detection
+	// frames ride the same transport and add more).
+	if tot.frameSends < row.msgs {
+		t.Errorf("frame-send instants = %d, want >= %d sync messages", tot.frameSends, row.msgs)
+	}
+
+	// The analyzer must agree with the raw fold.
+	s := trace.Summarize("golden", events, dropped)
+	if s.Messages != row.msgs {
+		t.Errorf("Summarize messages = %d, golden %d", s.Messages, row.msgs)
+	}
+	if s.TotalBytes() != row.bytes {
+		t.Errorf("Summarize total bytes = %d, golden %d", s.TotalBytes(), row.bytes)
+	}
+	if s.Modes != row.modes {
+		t.Errorf("Summarize modes = %v, golden %v", s.Modes, row.modes)
+	}
+	// Rounds: -1 (memoization) may appear; rounds 0..rounds-1 must.
+	seen := map[int32]bool{}
+	for _, r := range s.Rounds {
+		seen[r.Round] = true
+	}
+	for r := int32(0); r < int32(row.rounds); r++ {
+		if !seen[r] {
+			t.Errorf("round %d missing from Summarize round table", r)
+		}
+	}
+}
+
+// TestTraceSumsEqualStats runs a 2-host BFS with full optimizations and
+// checks that the trace's summed encode tags equal the substrates' own
+// aggregated Stats exactly — the acceptance bar for the byte accounting.
+func TestTraceSumsEqualStats(t *testing.T) {
+	cfg := generate.Config{Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 42}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numNodes := cfg.NumNodes()
+	outDeg := make([]uint32, numNodes)
+	inDeg := make([]uint32, numNodes)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+
+	tr := trace.New(trace.Config{Label: "stats-equality"})
+	res, err := dsys.Run(numNodes, edges, dsys.RunConfig{
+		Hosts:         2,
+		Policy:        partition.CVC,
+		Opt:           gluon.Opt(),
+		PolicyOptions: partition.Options{OutDegrees: outDeg, InDegrees: inDeg},
+		MaxRounds:     50,
+		Trace:         tr,
+	}, bfs.NewLigra(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var value, meta, gid, msgs uint64
+	var modes [trace.NumModes]uint64
+	for _, h := range res.Hosts {
+		value += h.Gluon.ValueBytes
+		meta += h.Gluon.MetadataBytes
+		gid += h.Gluon.GIDBytes
+		msgs += h.Gluon.MessagesSent
+		for i := range modes {
+			modes[i] += h.Gluon.ModeCounts[i]
+		}
+	}
+
+	events, dropped := tr.Snapshot()
+	if dropped != 0 {
+		t.Fatalf("dropped %d events", dropped)
+	}
+	tot := foldEncodeSpans(events)
+	if tot.spans != msgs {
+		t.Errorf("encode spans = %d, Stats.MessagesSent = %d", tot.spans, msgs)
+	}
+	if tot.value != value {
+		t.Errorf("trace value bytes = %d, Stats.ValueBytes = %d", tot.value, value)
+	}
+	if tot.meta != meta {
+		t.Errorf("trace metadata bytes = %d, Stats.MetadataBytes = %d", tot.meta, meta)
+	}
+	if tot.gid != gid {
+		t.Errorf("trace GID bytes = %d, Stats.GIDBytes = %d", tot.gid, gid)
+	}
+	if tot.modes != modes {
+		t.Errorf("trace mode histogram = %v, Stats.ModeCounts = %v", tot.modes, modes)
+	}
+
+	// RoundComm mirrors RoundCompute: one entry per round, summing to MaxComm.
+	if len(res.RoundComm) != res.Rounds {
+		t.Errorf("len(RoundComm) = %d, rounds = %d", len(res.RoundComm), res.Rounds)
+	}
+	var sum int64
+	for _, d := range res.RoundComm {
+		sum += int64(d)
+	}
+	if sum != int64(res.MaxComm) {
+		t.Errorf("sum(RoundComm) = %d, MaxComm = %d", sum, int64(res.MaxComm))
+	}
+}

@@ -27,10 +27,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"gluon/internal/bitset"
 	"gluon/internal/comm"
 	"gluon/internal/partition"
+	"gluon/internal/trace"
 )
 
 // Encoding selects how update metadata is represented on the wire.
@@ -127,11 +129,53 @@ type Gluon struct {
 	mirrorsIn, mirrorsOut orderSet
 	mastersIn, mastersOut orderSet
 
+	// rec is this host's observability sink; nil (the default) disables
+	// every instrumentation site at the cost of one nil check. Set it with
+	// SetRecorder before the instance is used concurrently.
+	rec *trace.Recorder
+
 	// stats is guarded by statsMu: parallel encode workers fold their
 	// local counters in on join, and the sync receive loop runs
 	// concurrently with the senders.
 	statsMu sync.Mutex
 	stats   Stats
+	// syncDepth and syncEnter implement the TimeInSync contract: wall time
+	// accumulates once while at least one Sync* call is active, so nested
+	// or concurrent syncs on the same host never double-count.
+	syncDepth int
+	syncEnter time.Time
+}
+
+// SetRecorder attaches a trace recorder to this substrate instance; sync
+// calls then emit per-phase spans tagged with exact payload byte splits.
+// Call it before the Gluon is used from multiple goroutines (the field is
+// read without synchronization on the hot path). A nil recorder disables
+// emission.
+func (g *Gluon) SetRecorder(r *trace.Recorder) { g.rec = r }
+
+// Recorder returns the attached trace recorder (nil when tracing is off).
+func (g *Gluon) Recorder() *trace.Recorder { return g.rec }
+
+// syncBegin opens one Sync* call for stats purposes. Paired with syncEnd.
+func (g *Gluon) syncBegin() {
+	g.statsMu.Lock()
+	if g.syncDepth == 0 {
+		g.syncEnter = time.Now()
+	}
+	g.syncDepth++
+	g.statsMu.Unlock()
+}
+
+// syncEnd closes one Sync* call: the outermost close banks the wall time
+// since the first concurrent open, so overlapping calls count once.
+func (g *Gluon) syncEnd() {
+	g.statsMu.Lock()
+	g.syncDepth--
+	if g.syncDepth == 0 {
+		g.stats.TimeInSync += time.Since(g.syncEnter)
+	}
+	g.stats.Syncs++
+	g.statsMu.Unlock()
 }
 
 // foldStats merges a worker's local counters into the shared stats.

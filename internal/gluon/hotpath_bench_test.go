@@ -18,6 +18,7 @@ import (
 	"gluon/internal/generate"
 	"gluon/internal/gluon"
 	"gluon/internal/partition"
+	"gluon/internal/trace"
 )
 
 // hotPathCluster is one benchmark cluster: per-host substrates, labels, and
@@ -143,6 +144,38 @@ func BenchmarkSyncHotPath(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					c.markUpdates(i+1, 5)
 					c.syncAll(b, 90)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSyncHotPathTrace measures the tracing tax on the same hot path
+// in its three states: off (no recorder attached — the default, must match
+// BenchmarkSyncHotPath), disabled (recorders attached but the trace gated
+// off — the cost of the atomic enabled check), and on (full span emission).
+// The first two back the ≤5% overhead budget in DESIGN.md §4.3; `make
+// check` enforces it via gluon-bench -sync-guard.
+func BenchmarkSyncHotPathTrace(b *testing.B) {
+	for _, hosts := range []int{2, 8} {
+		for _, mode := range []string{"off", "disabled", "on"} {
+			b.Run(fmt.Sprintf("hosts=%d/%s", hosts, mode), func(b *testing.B) {
+				c := newHotPathCluster(b, hosts, gluon.Opt())
+				defer c.close()
+				if mode != "off" {
+					tr := trace.New(trace.Config{Label: "bench"})
+					tr.SetEnabled(mode == "on")
+					for h, g := range c.gs {
+						g.SetRecorder(tr.Recorder(h))
+					}
+				}
+				c.markUpdates(0, 5)
+				c.syncAll(b, 92)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					c.markUpdates(i+1, 5)
+					c.syncAll(b, 92)
 				}
 			})
 		}

@@ -21,8 +21,14 @@ type Stats struct {
 	GIDBytes uint64
 	// ModeCounts counts messages by encoding mode.
 	ModeCounts [5]uint64
-	// TimeInSync is wall time spent inside Sync* calls (communication time
-	// in the paper's breakdown).
+	// TimeInSync is wall time during which at least one Sync* call was
+	// active on this host (communication time in the paper's breakdown).
+	//
+	// Contract: this is a wall-clock measure, not a sum of per-call
+	// durations. Nested or concurrent Sync calls on the same instance
+	// accumulate their overlapped wall time exactly once (the two notions
+	// coincide in the common BSP case where syncs never overlap), so
+	// TimeInSync never exceeds the host's elapsed run time.
 	TimeInSync time.Duration
 	// MemoProxies is the total number of (mirror + master) entries in the
 	// memoized exchange orders — the one-time memory overhead of §4.1.

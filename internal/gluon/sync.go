@@ -4,11 +4,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
-	"time"
 
 	"gluon/internal/bitset"
 	"gluon/internal/comm"
 	"gluon/internal/par"
+	"gluon/internal/trace"
 )
 
 // Location says at which edge endpoint a field is written or read by the
@@ -145,14 +145,32 @@ func Sync[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	return nil
 }
 
+// modeDelta returns the wire encoding mode of the one message encoded
+// between the st0 snapshot and st (the ModeCounts slot that advanced).
+func modeDelta(st, st0 *Stats) int8 {
+	for i := range st.ModeCounts {
+		if st.ModeCounts[i] != st0.ModeCounts[i] {
+			return int8(i)
+		}
+	}
+	return -1
+}
+
 // SyncReduce runs only the reduce pattern for f.
 func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
-	start := time.Now()
+	g.syncBegin()
+	rec := g.rec
+	tr := rec.Enabled()
+	var syncT0 int64
+	if tr {
+		syncT0 = rec.Now()
+	}
 	defer func() {
-		g.statsMu.Lock()
-		g.stats.TimeInSync += time.Since(start)
-		g.stats.Syncs++
-		g.statsMu.Unlock()
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseSync, Start: syncT0, Dur: rec.Now() - syncT0,
+				Field: f.ID, Peer: -1, Detail: f.Name})
+		}
+		g.syncEnd()
 	}()
 
 	send, recv := g.peersForReduce(f.Write, g.Opt.StructuralInvariants)
@@ -175,10 +193,24 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			defer putEncodeScratch(sc)
 			var st Stats
 			defer g.foldStats(&st)
+			lane := int32(1 + w)
 			for _, h := range sendPeers[lo:hi] {
 				order := send.lists[h]
+				var t0 int64
+				var st0 Stats
+				if tr {
+					t0, st0 = rec.Now(), st
+				}
 				payload, sent := encodeMsg(g, order, send.masks[h], updated, gatherReduce, sc, &st)
 				payload = g.maybeCompress(payload, &st)
+				if tr {
+					// Byte tags are the post-compression stats deltas of this
+					// one message, so trace sums reproduce Stats exactly.
+					rec.Emit(trace.Event{Phase: trace.PhaseEncode, Start: t0, Dur: rec.Now() - t0,
+						Peer: int32(h), Field: f.ID, Lane: lane, Mode: modeDelta(&st, &st0),
+						Value: st.ValueBytes - st0.ValueBytes, Meta: st.MetadataBytes - st0.MetadataBytes,
+						GID: st.GIDBytes - st0.GIDBytes})
+				}
 				// Mirrors whose value was shipped return to the reduction
 				// identity, and their "changed" bit migrates to the master.
 				for _, lid := range sent {
@@ -187,8 +219,15 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 						updated.Clear(lid)
 					}
 				}
+				if tr {
+					t0 = rec.Now()
+				}
 				if err := g.T.Send(h, tag, payload); err != nil {
 					return fmt.Errorf("gluon: reduce %s to host %d: %w", f.Name, h, err)
+				}
+				if tr {
+					rec.Emit(trace.Event{Phase: trace.PhaseSend, Start: t0, Dur: rec.Now() - t0,
+						Peer: int32(h), Field: f.ID, Lane: lane})
 				}
 			}
 			return nil
@@ -213,9 +252,18 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	stages := ps.hostStages(g.NumHosts())
 	applyIdx := 0
 	for len(remaining) > 0 {
+		var t0 int64
+		if tr {
+			t0 = rec.Now()
+		}
 		h, payload, err := g.T.RecvAny(tag, remaining)
 		if err != nil {
 			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+		}
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseRecvWait, Start: t0, Dur: rec.Now() - t0,
+				Peer: int32(h), Field: f.ID, Value: uint64(len(payload))})
+			t0 = rec.Now()
 		}
 		remaining = removePeer(remaining, h)
 		if applyIdx < len(recvPeers) && h == recvPeers[applyIdx] {
@@ -225,6 +273,10 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
 			}
 			applyIdx++
+			if tr {
+				rec.Emit(trace.Event{Phase: trace.PhaseFold, Start: t0, Dur: rec.Now() - t0,
+					Peer: int32(h), Field: f.ID})
+			}
 		} else {
 			st := getDecodeStage()
 			err = stageMsg[V](g, payload, recv.lists[h], st)
@@ -234,14 +286,26 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
 			}
 			stages[h] = st
+			if tr {
+				rec.Emit(trace.Event{Phase: trace.PhaseFold, Start: t0, Dur: rec.Now() - t0,
+					Peer: int32(h), Field: f.ID, Detail: "stage"})
+			}
 		}
 		// Whatever is now unblocked folds while later messages are in flight.
 		for applyIdx < len(recvPeers) && stages[recvPeers[applyIdx]] != nil {
-			st := stages[recvPeers[applyIdx]]
-			stages[recvPeers[applyIdx]] = nil
+			hp := recvPeers[applyIdx]
+			st := stages[hp]
+			stages[hp] = nil
+			if tr {
+				t0 = rec.Now()
+			}
 			applyStage(st, apply)
 			putDecodeStage(st)
 			applyIdx++
+			if tr {
+				rec.Emit(trace.Event{Phase: trace.PhaseFold, Start: t0, Dur: rec.Now() - t0,
+					Peer: int32(hp), Field: f.ID, Detail: "unstage"})
+			}
 		}
 	}
 	err := <-sendErr
@@ -278,12 +342,19 @@ func SyncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error 
 // explicit, so BroadcastAll can run unconstrained without mutating shared
 // options.
 func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, structural bool) error {
-	start := time.Now()
+	g.syncBegin()
+	rec := g.rec
+	tr := rec.Enabled()
+	var syncT0 int64
+	if tr {
+		syncT0 = rec.Now()
+	}
 	defer func() {
-		g.statsMu.Lock()
-		g.stats.TimeInSync += time.Since(start)
-		g.stats.Syncs++
-		g.statsMu.Unlock()
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseSync, Start: syncT0, Dur: rec.Now() - syncT0,
+				Field: f.ID, Peer: -1, Detail: f.Name})
+		}
+		g.syncEnd()
 	}()
 
 	send, recv := g.peersForBroadcast(f.Read, structural)
@@ -303,12 +374,29 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 			defer putEncodeScratch(sc)
 			var st Stats
 			defer g.foldStats(&st)
+			lane := int32(1 + w)
 			for _, h := range sendPeers[lo:hi] {
 				order := send.lists[h]
+				var t0 int64
+				var st0 Stats
+				if tr {
+					t0, st0 = rec.Now(), st
+				}
 				payload, _ := encodeMsg(g, order, send.masks[h], updated, gatherBcast, sc, &st)
 				payload = g.maybeCompress(payload, &st)
+				if tr {
+					rec.Emit(trace.Event{Phase: trace.PhaseEncode, Start: t0, Dur: rec.Now() - t0,
+						Peer: int32(h), Field: f.ID, Lane: lane, Mode: modeDelta(&st, &st0),
+						Value: st.ValueBytes - st0.ValueBytes, Meta: st.MetadataBytes - st0.MetadataBytes,
+						GID: st.GIDBytes - st0.GIDBytes})
+					t0 = rec.Now()
+				}
 				if err := g.T.Send(h, tag, payload); err != nil {
 					return fmt.Errorf("gluon: broadcast %s to host %d: %w", f.Name, h, err)
+				}
+				if tr {
+					rec.Emit(trace.Event{Phase: trace.PhaseSend, Start: t0, Dur: rec.Now() - t0,
+						Peer: int32(h), Field: f.ID, Lane: lane})
 				}
 			}
 			return nil
@@ -316,9 +404,18 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 	}()
 
 	for len(recvPeers) > 0 {
+		var t0 int64
+		if tr {
+			t0 = rec.Now()
+		}
 		h, payload, err := g.T.RecvAny(tag, recvPeers)
 		if err != nil {
 			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
+		}
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseRecvWait, Start: t0, Dur: rec.Now() - t0,
+				Peer: int32(h), Field: f.ID, Value: uint64(len(payload))})
+			t0 = rec.Now()
 		}
 		recvPeers = removePeer(recvPeers, h)
 		err = decodeMsg(g, payload, recv.lists[h], func(lid uint32, v V) {
@@ -335,6 +432,10 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 		comm.PutBuf(payload)
 		if err != nil {
 			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
+		}
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseApply, Start: t0, Dur: rec.Now() - t0,
+				Peer: int32(h), Field: f.ID})
 		}
 	}
 	err := <-sendErr

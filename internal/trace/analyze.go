@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Summary is the offline rollup of a trace: the paper-style tables —
+// per-round communication volume, per-peer skew, phase time breakdown, and
+// the encoding-mode histogram — that otherwise require hand-instrumenting a
+// run. Build one with Summarize; print it with WriteTables.
+type Summary struct {
+	Label   string `json:"label,omitempty"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+	Hosts   int    `json:"hosts"`
+	// WallNs spans the earliest event start to the latest event end.
+	WallNs int64 `json:"wall_ns"`
+
+	// Totals over all PhaseEncode events (i.e. every sync message sent).
+	Messages   uint64 `json:"messages"`
+	ValueBytes uint64 `json:"value_bytes"`
+	MetaBytes  uint64 `json:"metadata_bytes"`
+	GIDBytes   uint64 `json:"gid_bytes"`
+
+	Rounds []RoundStat      `json:"rounds"`
+	Phases []PhaseStat      `json:"phases"`
+	Peers  []PeerStat       `json:"peers"`
+	Modes  [NumModes]uint64 `json:"modes"`
+	Faults []Event          `json:"faults,omitempty"`
+}
+
+// RoundStat aggregates one BSP round. Byte columns come from encode spans;
+// the time columns are maxima across hosts (each host's time is the sum of
+// its spans of that phase in the round), matching the paper's
+// max-across-hosts breakdown.
+type RoundStat struct {
+	Round     int32  `json:"round"`
+	Messages  uint64 `json:"messages"`
+	Value     uint64 `json:"value"`
+	Meta      uint64 `json:"meta"`
+	GID       uint64 `json:"gid"`
+	SyncNs    int64  `json:"sync_ns"`
+	ComputeNs int64  `json:"compute_ns"`
+	BarrierNs int64  `json:"barrier_ns"`
+}
+
+// PhaseStat is one phase's global count and time.
+type PhaseStat struct {
+	Phase   Phase  `json:"phase"`
+	Count   uint64 `json:"count"`
+	TotalNs int64  `json:"total_ns"`
+}
+
+// PeerStat is one directed (sender, receiver) pair's volume, the per-peer
+// skew table.
+type PeerStat struct {
+	Host     int32  `json:"host"`
+	Peer     int32  `json:"peer"`
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
+}
+
+// Summarize rolls events up into a Summary. The dropped count is carried
+// through for display.
+func Summarize(label string, events []Event, dropped uint64) *Summary {
+	s := &Summary{Label: label, Events: len(events), Dropped: dropped}
+	if len(events) == 0 {
+		return s
+	}
+	type hostRound struct {
+		host  int32
+		round int32
+	}
+	rounds := map[int32]*RoundStat{}
+	perHostRound := map[hostRound]*[3]int64{} // sync, compute, barrier sums
+	peers := map[[2]int32]*PeerStat{}
+	hosts := map[int32]bool{}
+	var phases [NumPhases]PhaseStat
+	minStart, maxEnd := events[0].Start, events[0].Start
+	for i := range events {
+		e := &events[i]
+		hosts[e.Host] = true
+		if e.Start < minStart {
+			minStart = e.Start
+		}
+		if end := e.Start + e.Dur; end > maxEnd {
+			maxEnd = end
+		}
+		if e.Phase < NumPhases {
+			phases[e.Phase].Count++
+			phases[e.Phase].TotalNs += e.Dur
+		}
+		r := rounds[e.Round]
+		if r == nil {
+			r = &RoundStat{Round: e.Round}
+			rounds[e.Round] = r
+		}
+		switch e.Phase {
+		case PhaseEncode:
+			r.Messages++
+			r.Value += e.Value
+			r.Meta += e.Meta
+			r.GID += e.GID
+			s.Messages++
+			s.ValueBytes += e.Value
+			s.MetaBytes += e.Meta
+			s.GIDBytes += e.GID
+			if e.Mode >= 0 && e.Mode < NumModes {
+				s.Modes[e.Mode]++
+			}
+			p := peers[[2]int32{e.Host, e.Peer}]
+			if p == nil {
+				p = &PeerStat{Host: e.Host, Peer: e.Peer}
+				peers[[2]int32{e.Host, e.Peer}] = p
+			}
+			p.Messages++
+			p.Bytes += e.Bytes()
+		case PhaseSync, PhaseCompute, PhaseBarrier:
+			hr := perHostRound[hostRound{e.Host, e.Round}]
+			if hr == nil {
+				hr = &[3]int64{}
+				perHostRound[hostRound{e.Host, e.Round}] = hr
+			}
+			switch e.Phase {
+			case PhaseSync:
+				hr[0] += e.Dur
+			case PhaseCompute:
+				hr[1] += e.Dur
+			case PhaseBarrier:
+				hr[2] += e.Dur
+			}
+		case PhaseFault:
+			s.Faults = append(s.Faults, *e)
+		}
+	}
+	// Max across hosts per round.
+	for hr, sums := range perHostRound {
+		r := rounds[hr.round]
+		if r == nil {
+			continue
+		}
+		if sums[0] > r.SyncNs {
+			r.SyncNs = sums[0]
+		}
+		if sums[1] > r.ComputeNs {
+			r.ComputeNs = sums[1]
+		}
+		if sums[2] > r.BarrierNs {
+			r.BarrierNs = sums[2]
+		}
+	}
+	s.Hosts = len(hosts)
+	s.WallNs = maxEnd - minStart
+	for _, r := range rounds {
+		s.Rounds = append(s.Rounds, *r)
+	}
+	sort.Slice(s.Rounds, func(i, j int) bool { return s.Rounds[i].Round < s.Rounds[j].Round })
+	for p := Phase(0); p < NumPhases; p++ {
+		if phases[p].Count > 0 {
+			phases[p].Phase = p
+			s.Phases = append(s.Phases, phases[p])
+		}
+	}
+	for _, p := range peers {
+		s.Peers = append(s.Peers, *p)
+	}
+	sort.Slice(s.Peers, func(i, j int) bool {
+		if s.Peers[i].Host != s.Peers[j].Host {
+			return s.Peers[i].Host < s.Peers[j].Host
+		}
+		return s.Peers[i].Peer < s.Peers[j].Peer
+	})
+	sort.Slice(s.Faults, func(i, j int) bool { return s.Faults[i].Start < s.Faults[j].Start })
+	return s
+}
+
+// TotalBytes is the summed payload volume over all messages.
+func (s *Summary) TotalBytes() uint64 { return s.ValueBytes + s.MetaBytes + s.GIDBytes }
+
+// WriteTables prints the summary as the paper-style tables.
+func (s *Summary) WriteTables(w io.Writer) error {
+	label := s.Label
+	if label != "" {
+		label = " (" + label + ")"
+	}
+	if _, err := fmt.Fprintf(w, "trace%s: %d events, %d hosts, %d rounds, %d dropped, wall %v\n",
+		label, s.Events, s.Hosts, len(s.Rounds), s.Dropped, round3(time.Duration(s.WallNs))); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "totals: %d messages, %s (value %s / metadata %s / gids %s)\n\n",
+		s.Messages, fmtBytes(s.TotalBytes()), fmtBytes(s.ValueBytes), fmtBytes(s.MetaBytes), fmtBytes(s.GIDBytes))
+
+	if len(s.Rounds) > 0 {
+		fmt.Fprintln(w, "per-round volume & time (time columns are max across hosts):")
+		fmt.Fprintf(w, "%6s %8s %10s %10s %10s %12s %12s %12s\n",
+			"round", "msgs", "value", "meta", "gids", "sync", "compute", "barrier")
+		for _, r := range s.Rounds {
+			name := fmt.Sprintf("%d", r.Round)
+			if r.Round < 0 {
+				name = "init"
+			}
+			fmt.Fprintf(w, "%6s %8d %10s %10s %10s %12v %12v %12v\n",
+				name, r.Messages, fmtBytes(r.Value), fmtBytes(r.Meta), fmtBytes(r.GID),
+				round3(time.Duration(r.SyncNs)), round3(time.Duration(r.ComputeNs)), round3(time.Duration(r.BarrierNs)))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(s.Peers) > 0 {
+		fmt.Fprintln(w, "per-peer volume (sender -> receiver):")
+		fmt.Fprintf(w, "%6s %6s %8s %10s\n", "host", "peer", "msgs", "bytes")
+		for _, p := range s.Peers {
+			fmt.Fprintf(w, "%6d %6d %8d %10s\n", p.Host, p.Peer, p.Messages, fmtBytes(p.Bytes))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(s.Phases) > 0 {
+		fmt.Fprintln(w, "phase time breakdown (all hosts):")
+		fmt.Fprintf(w, "%-10s %10s %12s %12s\n", "phase", "count", "total", "mean")
+		for _, p := range s.Phases {
+			mean := time.Duration(0)
+			if p.Count > 0 {
+				mean = time.Duration(p.TotalNs / int64(p.Count))
+			}
+			fmt.Fprintf(w, "%-10s %10d %12v %12v\n", p.Phase, p.Count, round3(time.Duration(p.TotalNs)), round3(mean))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if s.Messages > 0 {
+		fmt.Fprintln(w, "encoding modes:")
+		fmt.Fprintf(w, "%-10s %8s\n", "mode", "msgs")
+		for m := 0; m < NumModes; m++ {
+			if s.Modes[m] > 0 {
+				fmt.Fprintf(w, "%-10s %8d\n", ModeName(int8(m)), s.Modes[m])
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(s.Faults) > 0 {
+		fmt.Fprintln(w, "fault timeline:")
+		for _, f := range s.Faults {
+			fmt.Fprintf(w, "  t=%-12v host %-3d peer %-3d %s\n",
+				round3(time.Duration(f.Start)), f.Host, f.Peer, f.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// round3 trims a duration to ~3 significant sub-unit digits for tables.
+func round3(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(time.Microsecond)
+	default:
+		return d
+	}
+}
+
+// fmtBytes renders byte counts with binary-prefix units.
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Export formats. JSONL is the native format: a header line identifying the
+// trace, then one Event object per line — easy to stream, grep, and append.
+// Chrome is the trace_event JSON array format, loadable directly in
+// chrome://tracing and https://ui.perfetto.dev: hosts become processes,
+// lanes become threads, spans become complete ("X") events and frame/fault
+// markers become instants ("i"). Both formats round-trip through ReadEvents
+// without losing any Event field (Chrome carries them in args).
+
+// MarshalJSON writes the phase as its string name.
+func (p Phase) MarshalJSON() ([]byte, error) { return json.Marshal(p.String()) }
+
+// UnmarshalJSON accepts a phase name (or a raw number, for robustness).
+func (p *Phase) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		if ph, ok := ParsePhase(s); ok {
+			*p = ph
+			return nil
+		}
+		return fmt.Errorf("trace: unknown phase %q", s)
+	}
+	var n uint8
+	if err := json.Unmarshal(b, &n); err != nil {
+		return err
+	}
+	*p = Phase(n)
+	return nil
+}
+
+// jsonlHeader is the first line of a JSONL export.
+type jsonlHeader struct {
+	Trace   string `json:"trace"`
+	Version int    `json:"version"`
+	Label   string `json:"label,omitempty"`
+	Events  int    `json:"events"`
+	Dropped uint64 `json:"dropped"`
+}
+
+const formatVersion = 1
+
+// WriteJSONL writes the session's merged events as JSONL.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	events, dropped := t.Snapshot()
+	return WriteJSONL(w, t.Label(), events, dropped)
+}
+
+// WriteJSONL writes a header line followed by one event per line.
+func WriteJSONL(w io.Writer, label string, events []Event, dropped uint64) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{Trace: "gluon", Version: formatVersion, Label: label, Events: len(events), Dropped: dropped}); err != nil {
+		return err
+	}
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one trace_event record. Args carries every Event field the
+// top-level record can't, so Chrome exports round-trip losslessly.
+type chromeEvent struct {
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"` // microseconds
+	Dur  float64     `json:"dur,omitempty"`
+	Pid  int32       `json:"pid"`
+	Tid  int32       `json:"tid"`
+	S    string      `json:"s,omitempty"` // instant scope
+	Args *chromeArgs `json:"args,omitempty"`
+}
+
+type chromeArgs struct {
+	Round  int32  `json:"round"`
+	Peer   int32  `json:"peer"`
+	Field  uint32 `json:"field,omitempty"`
+	Mode   *int8  `json:"mode,omitempty"`
+	Value  uint64 `json:"value,omitempty"`
+	Meta   uint64 `json:"meta,omitempty"`
+	GID    uint64 `json:"gid,omitempty"`
+	Detail string `json:"detail,omitempty"`
+	// Name carries process names on "M" metadata records.
+	Name string `json:"name,omitempty"`
+}
+
+type chromeOther struct {
+	Trace   string `json:"trace"`
+	Version int    `json:"version"`
+	Label   string `json:"label,omitempty"`
+	Dropped uint64 `json:"dropped"`
+}
+
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+	OtherData       *chromeOther  `json:"otherData,omitempty"`
+}
+
+// WriteChrome writes the session's merged events in Chrome trace_event
+// format.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events, dropped := t.Snapshot()
+	return WriteChrome(w, t.Label(), events, dropped)
+}
+
+// WriteChrome writes events as a trace_event JSON document, streaming one
+// record per line so multi-million-event traces don't need a second copy in
+// memory.
+func WriteChrome(w io.Writer, label string, events []Event, dropped uint64) error {
+	bw := bufio.NewWriter(w)
+	other, err := json.Marshal(&chromeOther{Trace: "gluon", Version: formatVersion, Label: label, Dropped: dropped})
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "{\"otherData\":%s,\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n", other); err != nil {
+		return err
+	}
+	first := true
+	emit := func(ce *chromeEvent) error {
+		b, err := json.Marshal(ce)
+		if err != nil {
+			return err
+		}
+		if !first {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		_, err = bw.Write(b)
+		return err
+	}
+	// Name each host's process once, so Perfetto shows "host N" tracks.
+	seen := map[int32]bool{}
+	for i := range events {
+		h := events[i].Host
+		if !seen[h] {
+			seen[h] = true
+			if err := emit(&chromeEvent{Name: "process_name", Ph: "M", Pid: h, Args: &chromeArgs{Name: fmt.Sprintf("host %d", h)}}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range events {
+		e := &events[i]
+		ce := chromeEvent{
+			Name: e.Phase.String(),
+			Cat:  "gluon",
+			Ts:   float64(e.Start) / 1e3,
+			Pid:  e.Host,
+			Tid:  e.Lane,
+			Args: &chromeArgs{Round: e.Round, Peer: e.Peer, Field: e.Field, Value: e.Value, Meta: e.Meta, GID: e.GID, Detail: e.Detail},
+		}
+		if e.Phase == PhaseEncode {
+			m := e.Mode
+			ce.Args.Mode = &m
+		}
+		if e.Phase.Instant() {
+			ce.Ph, ce.S = "i", "t"
+		} else {
+			ce.Ph = "X"
+			ce.Dur = float64(e.Dur) / 1e3
+		}
+		if err := emit(&ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteFile exports the session to path, choosing the format by extension:
+// ".jsonl" writes JSONL, anything else the Chrome trace_event format.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var werr error
+	if strings.HasSuffix(path, ".jsonl") {
+		werr = t.WriteJSONL(f)
+	} else {
+		werr = t.WriteChrome(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+// ReadEvents parses either export format, auto-detected, and returns the
+// events in file order plus the recorded dropped count.
+func ReadEvents(r io.Reader) ([]Event, uint64, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	var probe map[string]json.RawMessage
+	if json.Unmarshal(data, &probe) == nil {
+		if _, ok := probe["traceEvents"]; ok {
+			return readChrome(data)
+		}
+	}
+	return readJSONL(data)
+}
+
+// ReadFile parses a trace export from disk.
+func ReadFile(path string) ([]Event, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return ReadEvents(f)
+}
+
+func readChrome(data []byte) ([]Event, uint64, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, 0, fmt.Errorf("trace: parsing chrome trace: %w", err)
+	}
+	var dropped uint64
+	if doc.OtherData != nil {
+		dropped = doc.OtherData.Dropped
+	}
+	events := make([]Event, 0, len(doc.TraceEvents))
+	for _, ce := range doc.TraceEvents {
+		if ce.Ph == "M" {
+			continue
+		}
+		ph, ok := ParsePhase(ce.Name)
+		if !ok {
+			continue // foreign record; tolerate mixed traces
+		}
+		e := Event{
+			Start: int64(math.Round(ce.Ts * 1e3)),
+			Dur:   int64(math.Round(ce.Dur * 1e3)),
+			Host:  ce.Pid,
+			Lane:  ce.Tid,
+			Phase: ph,
+		}
+		if ce.Args != nil {
+			e.Round, e.Peer, e.Field = ce.Args.Round, ce.Args.Peer, ce.Args.Field
+			e.Value, e.Meta, e.GID = ce.Args.Value, ce.Args.Meta, ce.Args.GID
+			e.Detail = ce.Args.Detail
+			if ce.Args.Mode != nil {
+				e.Mode = *ce.Args.Mode
+			}
+		}
+		events = append(events, e)
+	}
+	return events, dropped, nil
+}
+
+func readJSONL(data []byte) ([]Event, uint64, error) {
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	var dropped uint64
+	lineNo := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if lineNo == 1 && strings.Contains(line, `"trace":"gluon"`) {
+			var hdr jsonlHeader
+			if err := json.Unmarshal([]byte(line), &hdr); err == nil && hdr.Trace == "gluon" {
+				dropped = hdr.Dropped
+				continue
+			}
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, 0, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	if len(events) == 0 && dropped == 0 && lineNo == 0 {
+		return nil, 0, fmt.Errorf("trace: empty input")
+	}
+	return events, dropped, nil
+}

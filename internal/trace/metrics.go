@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Live metrics exposure: an expvar-style HTTP endpoint serving the running
+// rollup counters as flat JSON, and a periodic one-line stderr summary.
+// Both read only the atomic counters, never the event rings, so they are
+// safe to poll at any rate while a run is in flight.
+
+// MetricsServer serves a Trace's live counters over HTTP.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics starts an HTTP server on addr (e.g. "localhost:6060" or
+// ":0") exposing the session's live counters as JSON at "/", "/metrics",
+// and "/debug/vars". The server runs until Close.
+func ServeMetrics(addr string, t *Trace) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: metrics listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	handler := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(t.Live())
+	}
+	mux.HandleFunc("/", handler)
+	mux.HandleFunc("/metrics", handler)
+	mux.HandleFunc("/debug/vars", handler)
+	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go ms.srv.Serve(ln)
+	return ms, nil
+}
+
+// Addr returns the bound address (resolves ":0" requests).
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the server.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// StartSummary prints a one-line rollup of the session to w every interval,
+// plus one final line when the returned stop function is called. Stop is
+// idempotent and waits for the printer goroutine to exit.
+func StartSummary(w io.Writer, t *Trace, every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = time.Second
+	}
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				writeSummaryLine(w, t)
+			case <-done:
+				writeSummaryLine(w, t)
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-finished
+		})
+	}
+}
+
+func writeSummaryLine(w io.Writer, t *Trace) {
+	s := t.Live()
+	sync := s.Phases[PhaseSync.String()]
+	enc := s.Phases[PhaseEncode.String()]
+	fmt.Fprintf(w, "trace: round=%d events=%d dropped=%d msgs=%d bytes=%s (val %s / meta %s / gid %s) sync=%v encode=%v\n",
+		s.MaxRound, s.Events, s.Dropped, s.Messages,
+		fmtBytes(s.TotalBytes()), fmtBytes(s.ValueBytes), fmtBytes(s.MetaBytes), fmtBytes(s.GIDBytes),
+		round3(time.Duration(sync.DurNs)), round3(time.Duration(enc.DurNs)))
+}

@@ -1,0 +1,428 @@
+// Package trace is the substrate's observability layer: a low-overhead,
+// ring-buffered span recorder that gluon (sync phases), dsys (BSP round
+// boundaries), and comm (frame-level transport traffic, fault injection)
+// instrument, so a run can be replayed as a timeline instead of a flat
+// end-of-run Stats rollup.
+//
+// Design constraints, in order:
+//
+//   - Near-zero cost when disabled. Instrumentation sites guard on
+//     (*Recorder).Enabled() — a nil check plus one atomic load — and emit
+//     nothing else. A nil *Recorder (the default everywhere) is a valid,
+//     always-disabled recorder, so the hot path needs no wiring to opt out.
+//   - No allocations on the hot path when enabled. Emit copies the Event
+//     value into a preallocated ring slot under a per-host mutex; Detail
+//     strings at hot sites are constants.
+//   - Race-free merging. Each host owns one Recorder; goroutines of that
+//     host share its mutex, and Trace.Snapshot merges the per-host rings
+//     into one Start-ordered slice without stopping the run.
+//   - Monotonic timestamps. Event times are nanoseconds since the Trace's
+//     epoch, measured with the runtime's monotonic clock, so spans from
+//     different hosts of one Trace are directly comparable.
+//
+// Bounded memory comes from the ring: when a host emits more than its ring
+// capacity, the oldest events are overwritten and counted as dropped —
+// tracing degrades to a suffix window rather than growing without bound.
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase tags what an event measures. Span phases (PhaseSync through
+// PhaseBarrier) carry a duration; the frame and fault phases are instants.
+type Phase uint8
+
+// Event taxonomy. The gluon sync pipeline emits PhaseSync (one whole Sync*
+// call) containing PhaseEncode/PhaseSend per peer message on the sender
+// side and PhaseRecvWait/PhaseFold (reduce) or PhaseApply (broadcast) per
+// message on the receiver side. dsys emits PhaseCompute per BSP round and
+// PhaseBarrier around termination detection (straggler wait). Transports
+// emit PhaseFrameSend/PhaseFrameRecv instants per frame — including
+// collectives that gluon spans don't cover — and PhaseFault instants for
+// poisonings, dead-host declarations, and injected faults.
+const (
+	PhaseSync Phase = iota
+	PhaseEncode
+	PhaseSend
+	PhaseRecvWait
+	PhaseFold
+	PhaseApply
+	PhaseCompute
+	PhaseBarrier
+	PhaseFrameSend
+	PhaseFrameRecv
+	PhaseFault
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	"sync", "encode", "send", "recvwait", "fold", "apply",
+	"compute", "barrier", "framesend", "framerecv", "fault",
+}
+
+// String returns the phase's wire name (used in exports and analyzer tables).
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// ParsePhase inverts String.
+func ParsePhase(s string) (Phase, bool) {
+	for i, n := range phaseNames {
+		if n == s {
+			return Phase(i), true
+		}
+	}
+	return NumPhases, false
+}
+
+// Instant reports whether the phase is an instantaneous marker rather than
+// a span (frame-level and fault events).
+func (p Phase) Instant() bool { return p >= PhaseFrameSend }
+
+// Event is one trace record. Span events have Dur > 0 (or a span Phase with
+// measured zero duration); instants have Dur == 0 by construction.
+//
+// Byte tags: on PhaseEncode events, Value/Meta/GID are the exact post-
+// compression payload byte deltas this message added to gluon.Stats, so
+// summing them over a trace reproduces the run's final Stats split. On
+// PhaseRecvWait and frame events, Value holds the received/sent wire length.
+type Event struct {
+	// Start is nanoseconds since the owning Trace's epoch (monotonic).
+	Start int64 `json:"ts"`
+	// Dur is the span length in nanoseconds; 0 for instants.
+	Dur int64 `json:"dur,omitempty"`
+	// Value, Meta, GID are payload byte counts (see type comment).
+	Value uint64 `json:"value,omitempty"`
+	Meta  uint64 `json:"meta,omitempty"`
+	GID   uint64 `json:"gid,omitempty"`
+	// Field is the synchronized field ID (gluon events) or the message tag
+	// (frame events).
+	Field uint32 `json:"field,omitempty"`
+	// Host is the emitting host's rank; stamped by the Recorder.
+	Host int32 `json:"host"`
+	// Round is the BSP round the event belongs to; -1 during init/memoize,
+	// stamped by the Recorder from SetRound.
+	Round int32 `json:"round"`
+	// Peer is the other host of a message or fault (-1 when not applicable).
+	Peer int32 `json:"peer"`
+	// Lane separates concurrent timelines within a host (0 = the driver,
+	// 1+w = encode worker w); it becomes the Chrome-trace thread ID.
+	Lane int32 `json:"lane,omitempty"`
+	// Phase tags what was measured.
+	Phase Phase `json:"phase"`
+	// Mode is the wire encoding mode of a PhaseEncode event (0 empty,
+	// 1 dense, 2 bitvec, 3 indices, 4 gid-pairs); meaningless elsewhere.
+	Mode int8 `json:"mode,omitempty"`
+	// Detail is a free-form annotation (field name, fault cause).
+	Detail string `json:"detail,omitempty"`
+}
+
+// Bytes returns the event's total payload byte tag.
+func (e *Event) Bytes() uint64 { return e.Value + e.Meta + e.GID }
+
+// ModeName names a wire encoding mode for tables and exports.
+func ModeName(m int8) string {
+	switch m {
+	case 0:
+		return "empty"
+	case 1:
+		return "dense"
+	case 2:
+		return "bitvec"
+	case 3:
+		return "indices"
+	case 4:
+		return "gids"
+	default:
+		return "unknown"
+	}
+}
+
+// NumModes is the number of wire encoding modes (matches gluon's ModeCounts).
+const NumModes = 5
+
+// DefaultCapacity is the per-host ring capacity when Config.Capacity is 0:
+// 128Ki events ≈ 11 MB per host, enough for ~1000 rounds of an 8-host sync
+// before the ring wraps.
+const DefaultCapacity = 1 << 17
+
+// Config parameterizes a Trace session.
+type Config struct {
+	// Capacity is the per-host ring capacity in events (0 = DefaultCapacity).
+	Capacity int
+	// Label annotates exports (e.g. the benchmark spec being traced).
+	Label string
+}
+
+// Trace is one tracing session shared by all hosts of a run (or several
+// runs back to back). It hands out per-host Recorders, maintains the live
+// rollup counters behind the metrics endpoint, and merges recorded events
+// for export. A nil *Trace is valid and permanently disabled.
+type Trace struct {
+	cfg     Config
+	epoch   time.Time
+	enabled atomic.Bool
+
+	mu   sync.Mutex
+	recs []*Recorder // indexed by host, grown lazily
+
+	// Live rollup counters, updated by Emit; see Live().
+	events     atomic.Uint64
+	value      atomic.Uint64
+	meta       atomic.Uint64
+	gid        atomic.Uint64
+	maxRound   atomic.Int32
+	phaseCount [NumPhases]atomic.Uint64
+	phaseDur   [NumPhases]atomic.Int64
+	modeCount  [NumModes]atomic.Uint64
+}
+
+// New creates an enabled tracing session whose clock starts now.
+func New(cfg Config) *Trace {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	t := &Trace{cfg: cfg, epoch: time.Now()}
+	t.enabled.Store(true)
+	t.maxRound.Store(-1)
+	return t
+}
+
+// Label returns the session's label.
+func (t *Trace) Label() string {
+	if t == nil {
+		return ""
+	}
+	return t.cfg.Label
+}
+
+// SetEnabled gates all recorders of the session at once. Events emitted
+// while disabled are discarded before touching any ring.
+func (t *Trace) SetEnabled(on bool) {
+	if t != nil {
+		t.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether the session is recording.
+func (t *Trace) Enabled() bool { return t != nil && t.enabled.Load() }
+
+// Recorder returns host's recorder, creating it on first use. It is safe to
+// call concurrently from every host's driver. On a nil Trace it returns
+// nil — a valid, permanently disabled recorder.
+func (t *Trace) Recorder(host int) *Recorder {
+	if t == nil || host < 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for len(t.recs) <= host {
+		t.recs = append(t.recs, nil)
+	}
+	if t.recs[host] == nil {
+		t.recs[host] = &Recorder{t: t, host: int32(host), buf: make([]Event, 0, t.cfg.Capacity)}
+		t.recs[host].round.Store(-1)
+	}
+	return t.recs[host]
+}
+
+// Snapshot merges all hosts' rings into one slice ordered by Start, plus
+// the total number of events dropped to ring overwrites. It does not stop
+// recording; events emitted during the merge may or may not be included.
+func (t *Trace) Snapshot() ([]Event, uint64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	recs := append([]*Recorder(nil), t.recs...)
+	t.mu.Unlock()
+	var out []Event
+	var dropped uint64
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		ev, d := r.snapshot()
+		out = append(out, ev...)
+		dropped += d
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out, dropped
+}
+
+// Dropped returns the total events lost to ring overwrites so far.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	recs := append([]*Recorder(nil), t.recs...)
+	t.mu.Unlock()
+	var dropped uint64
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		dropped += r.dropped
+		r.mu.Unlock()
+	}
+	return dropped
+}
+
+// Recorder is one host's event sink: a mutex-guarded ring the host's driver
+// and its sync worker goroutines share. The nil *Recorder is valid and
+// permanently disabled, so instrumented code never needs a wiring check
+// beyond Enabled().
+type Recorder struct {
+	t     *Trace
+	host  int32
+	round atomic.Int32
+
+	mu      sync.Mutex
+	buf     []Event // ring storage; len grows to cap, then next wraps
+	next    int     // overwrite cursor once len(buf) == cap(buf)
+	dropped uint64
+}
+
+// Enabled reports whether emitting is worthwhile. Instrumentation sites
+// hoist this guard so the disabled cost is one nil check + one atomic load.
+func (r *Recorder) Enabled() bool { return r != nil && r.t.enabled.Load() }
+
+// Now returns nanoseconds since the session epoch on the monotonic clock.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return 0
+	}
+	return int64(time.Since(r.t.epoch))
+}
+
+// SetRound stamps the BSP round onto subsequently emitted events (-1 means
+// init/memoization time). Safe concurrently with Emit.
+func (r *Recorder) SetRound(round int32) {
+	if r != nil {
+		r.round.Store(round)
+	}
+}
+
+// Emit records one event, stamping Host and Round. When the session is
+// disabled it is a no-op; when the ring is full the oldest event is
+// overwritten and counted as dropped. Emit does not allocate.
+func (r *Recorder) Emit(e Event) {
+	if r == nil || !r.t.enabled.Load() {
+		return
+	}
+	e.Host = r.host
+	e.Round = r.round.Load()
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next++
+		if r.next == len(r.buf) {
+			r.next = 0
+		}
+		r.dropped++
+	}
+	r.mu.Unlock()
+
+	t := r.t
+	t.events.Add(1)
+	t.phaseCount[e.Phase].Add(1)
+	t.phaseDur[e.Phase].Add(e.Dur)
+	// Byte and mode rollups count encode spans only: their tags are Stats
+	// deltas, so the live totals match the run's volume accounting. Other
+	// phases reuse Value for wire lengths, which would double-count.
+	if e.Phase == PhaseEncode {
+		t.value.Add(e.Value)
+		t.meta.Add(e.Meta)
+		t.gid.Add(e.GID)
+		if e.Mode >= 0 && e.Mode < NumModes {
+			t.modeCount[e.Mode].Add(1)
+		}
+	}
+	for {
+		cur := t.maxRound.Load()
+		if e.Round <= cur || t.maxRound.CompareAndSwap(cur, e.Round) {
+			break
+		}
+	}
+}
+
+// snapshot copies the ring out in emission order.
+func (r *Recorder) snapshot() ([]Event, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if r.dropped > 0 {
+		// Ring has wrapped: oldest surviving event is at the cursor.
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out, r.dropped
+}
+
+// PhaseLive is one phase's live rollup.
+type PhaseLive struct {
+	Count uint64 `json:"count"`
+	DurNs int64  `json:"dur_ns"`
+}
+
+// LiveStats is the running rollup behind the metrics endpoint and the
+// periodic stderr summary: cheap atomic counters updated on every Emit,
+// readable without touching the rings.
+type LiveStats struct {
+	Label      string               `json:"label,omitempty"`
+	Events     uint64               `json:"events"`
+	Dropped    uint64               `json:"dropped"`
+	MaxRound   int32                `json:"max_round"`
+	Messages   uint64               `json:"messages"`
+	ValueBytes uint64               `json:"value_bytes"`
+	MetaBytes  uint64               `json:"metadata_bytes"`
+	GIDBytes   uint64               `json:"gid_bytes"`
+	Phases     map[string]PhaseLive `json:"phases"`
+	Modes      map[string]uint64    `json:"modes"`
+}
+
+// TotalBytes returns the live payload byte total.
+func (s *LiveStats) TotalBytes() uint64 { return s.ValueBytes + s.MetaBytes + s.GIDBytes }
+
+// Live snapshots the rollup counters.
+func (t *Trace) Live() LiveStats {
+	if t == nil {
+		return LiveStats{Phases: map[string]PhaseLive{}, Modes: map[string]uint64{}}
+	}
+	s := LiveStats{
+		Label:      t.cfg.Label,
+		Events:     t.events.Load(),
+		Dropped:    t.Dropped(),
+		MaxRound:   t.maxRound.Load(),
+		Messages:   t.phaseCount[PhaseEncode].Load(),
+		ValueBytes: t.value.Load(),
+		MetaBytes:  t.meta.Load(),
+		GIDBytes:   t.gid.Load(),
+		Phases:     make(map[string]PhaseLive, NumPhases),
+		Modes:      make(map[string]uint64, NumModes),
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if c := t.phaseCount[p].Load(); c > 0 {
+			s.Phases[p.String()] = PhaseLive{Count: c, DurNs: t.phaseDur[p].Load()}
+		}
+	}
+	for m := 0; m < NumModes; m++ {
+		if c := t.modeCount[m].Load(); c > 0 {
+			s.Modes[ModeName(int8(m))] = c
+		}
+	}
+	return s
+}
