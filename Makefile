@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-fault bench sync-bench trace-guard trace-smoke
+.PHONY: check fmt vet build test race race-fault bench sync-bench trace-guard trace-smoke watchdog-smoke
 
 # trace-guard runs before the race gates: it measures wall time, and the
 # race suites leave the machine hot enough to skew it.
-check: fmt vet build trace-guard trace-smoke race-fault race
+check: fmt vet build trace-guard trace-smoke watchdog-smoke race-fault race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -47,6 +47,13 @@ sync-bench:
 # baseline (DESIGN.md §4.3). Same pinned parameters as sync-bench.
 trace-guard:
 	$(GO) run ./cmd/gluon-bench -sync-guard BENCH_sync.json -guard-tol 0.05 -scale 12 -edgefactor 8 -seed 7 -workers 0
+
+# Watchdog smoke: a host deliberately stalled with FaultTransport delay
+# injection must be named — host ID and phase — by the watchdog and
+# escalated into a typed cluster failure before the BSP deadline fires
+# (DESIGN.md §4.4).
+watchdog-smoke:
+	$(GO) test -count=1 -run 'TestWatchdog' ./internal/dsys/ ./internal/trace/
 
 # Trace smoke: record a 4-host BFS run, then run the analyzer over the
 # export — proves the end-to-end trace path (emit, export, parse, tables).

@@ -46,8 +46,18 @@ func main() {
 		traceOut     = flag.String("trace", "", "record every Gluon-based run into a trace file (Chrome trace_event JSON; .jsonl suffix = JSONL)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters as JSON over HTTP at this address")
 		traceSummary = flag.Duration("trace-summary", 0, "print periodic trace summaries to stderr at this interval")
+		pprofAddr    = flag.String("pprof-addr", "", "serve /debug/pprof/ at this address with sync phases labeled in CPU profiles")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		ps, err := trace.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ps.Close()
+		fmt.Fprintf(os.Stderr, "gluon-bench: serving pprof at http://%s/debug/pprof/ (sync phases labeled gluon_phase)\n", ps.Addr())
+	}
 
 	p := bench.DefaultParams()
 	p.Scale = *scale

@@ -39,15 +39,29 @@ func main() {
 		check    = flag.Bool("validate", false, "property-check the result (graph500-style, no reference recomputation)")
 
 		traceOut     = flag.String("trace", "", "write a trace of the run (Chrome trace_event JSON; .jsonl suffix = JSONL)")
-		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters as JSON over HTTP at this address")
+		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters (JSON + Prometheus) and pprof capture over HTTP at this address")
 		traceSummary = flag.Duration("trace-summary", 0, "print periodic trace summaries to stderr at this interval")
+		traceShip    = flag.String("trace-ship", "", "stream the trace to a collector at this address (gluon-trace -serve)")
+		pprofAddr    = flag.String("pprof-addr", "", "serve /debug/pprof/ at this address with sync phases labeled in CPU profiles")
+		watchdog     = flag.Bool("watchdog", false, "run the straggler/stall watchdog (reports to stderr)")
+		wdStall      = flag.Duration("watchdog-stall", 0, "escalate a flagged stall to a cluster failure after this long (0 = warn only)")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		ps, err := trace.ServePprof(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer ps.Close()
+		fmt.Fprintf(os.Stderr, "gluon-run: serving pprof at http://%s/debug/pprof/ (sync phases labeled gluon_phase)\n", ps.Addr())
+	}
+
 	// Any observability flag turns tracing on; the trace object is shared by
-	// the substrate, the metrics endpoint, and the periodic summary.
+	// the substrate, the metrics endpoint, the periodic summary, and the
+	// collection sideband.
 	var tr *trace.Trace
-	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 {
+	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 || *traceShip != "" {
 		tr = trace.New(trace.Config{Label: fmt.Sprintf("gluon-run %s/%s", *system, *benchFlg)})
 		if *metricsAddr != "" {
 			ms, err := trace.ServeMetrics(*metricsAddr, tr)
@@ -60,6 +74,18 @@ func main() {
 		if *traceSummary > 0 {
 			stop := trace.StartSummary(os.Stderr, tr, *traceSummary)
 			defer stop()
+		}
+		if *traceShip != "" {
+			sh, err := trace.StartShipper(trace.ShipperConfig{Addr: *traceShip, Trace: tr})
+			if err != nil {
+				fatal(err)
+			}
+			defer func() {
+				if err := sh.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "gluon-run: trace shipper: %v\n", err)
+				}
+			}()
+			fmt.Fprintf(os.Stderr, "gluon-run: shipping trace to %s (%v)\n", *traceShip, sh.Clock())
 		}
 	}
 
@@ -151,6 +177,10 @@ func main() {
 		fmt.Printf("autotune selected policy %s\n", chosen)
 	}
 
+	var wcfg *trace.WatchdogConfig
+	if *watchdog || *wdStall > 0 {
+		wcfg = &trace.WatchdogConfig{StallTimeout: *wdStall}
+	}
 	res, err := gluon.Run(numNodes, edges, gluon.RunConfig{
 		Hosts:         *hosts,
 		Policy:        chosen,
@@ -158,6 +188,7 @@ func main() {
 		CollectValues: *verify || *check,
 		MaxRounds:     maxRounds,
 		Trace:         tr,
+		Watchdog:      wcfg,
 	}, factory)
 	if err != nil {
 		fatal(err)

@@ -4,9 +4,15 @@
 // communication volume and time, per-peer skew, phase time breakdown, the
 // encoding-mode histogram, and any fault timeline.
 //
+// With -serve it becomes the standalone trace collector for multi-process
+// clusters: every process points its trace shipper at the listen address,
+// and gluon-trace merges the shipped events onto one clock-aligned timeline,
+// writes it to -o, and prints the same tables.
+//
 // Usage:
 //
 //	gluon-trace [-json] trace-file
+//	gluon-trace -serve :9123 -sessions 4 -o cluster.trace.json
 package main
 
 import (
@@ -14,6 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"gluon/internal/trace"
 )
@@ -21,38 +30,107 @@ import (
 func main() {
 	asJSON := flag.Bool("json", false, "emit the summary as JSON instead of tables")
 	label := flag.String("label", "", "override the label shown in the header")
+	serve := flag.String("serve", "", "run as a trace collector listening on this address instead of reading a file")
+	sessions := flag.Int("sessions", 0, "with -serve: exit after this many shipper sessions complete (0 = run until interrupted)")
+	out := flag.String("o", "", "with -serve: write the merged cluster trace to this file (.jsonl = JSONL, else Chrome)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gluon-trace [-json] trace-file\n\n")
-		fmt.Fprintf(os.Stderr, "Reads a Chrome trace_event or JSONL export written by gluon-run/gluon-bench -trace\nand prints per-round, per-peer, and per-phase tables.\n\n")
+		fmt.Fprintf(os.Stderr, "usage: gluon-trace [-json] trace-file\n")
+		fmt.Fprintf(os.Stderr, "       gluon-trace -serve addr [-sessions n] [-o merged.json]\n\n")
+		fmt.Fprintf(os.Stderr, "Reads a Chrome trace_event or JSONL export written by gluon-run/gluon-bench -trace\nand prints per-round, per-peer, and per-phase tables, or (with -serve) collects\nand merges traces shipped live from a multi-process cluster.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	if *serve != "" {
+		if err := runCollector(*serve, *sessions, *out, *label, *asJSON); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if flag.NArg() != 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
 	path := flag.Arg(0)
 
-	events, dropped, err := trace.ReadFile(path)
+	events, meta, err := trace.ReadFileMeta(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "gluon-trace: %v\n", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	s := trace.Summarize(*label, events, dropped)
-	if *asJSON {
+	// An empty trace is an error, not an empty table: it means the producer
+	// never recorded anything (tracing off, crash before export, truncation).
+	if len(events) == 0 {
+		fatal(fmt.Errorf("%s: trace contains no events", path))
+	}
+	if *label != "" {
+		meta.Label = *label
+	}
+	if err := report(trace.SummarizeMeta(meta, events), *asJSON); err != nil {
+		fatal(err)
+	}
+	if meta.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "gluon-trace: warning: %d events were dropped to ring overwrites; totals undercount\n", meta.Dropped)
+	}
+}
+
+// runCollector is the -serve mode: accept shipper sessions until the target
+// count completes (or an interrupt arrives), then merge, export, summarize.
+func runCollector(addr string, wantSessions int, out, label string, asJSON bool) error {
+	col, err := trace.ListenAndCollect(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "gluon-trace: collecting at %s (point trace shippers here", col.Addr())
+	if wantSessions > 0 {
+		fmt.Fprintf(os.Stderr, "; exiting after %d sessions)\n", wantSessions)
+	} else {
+		fmt.Fprintf(os.Stderr, "; Ctrl-C to finish)\n")
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+wait:
+	for {
+		select {
+		case <-sig:
+			fmt.Fprintln(os.Stderr, "gluon-trace: interrupted; merging what arrived")
+			break wait
+		case <-time.After(100 * time.Millisecond):
+			if _, done := col.Sessions(); wantSessions > 0 && done >= wantSessions {
+				break wait
+			}
+		}
+	}
+	col.Close()
+	for _, e := range col.Errs() {
+		fmt.Fprintf(os.Stderr, "gluon-trace: session error: %v\n", e)
+	}
+	events, meta := col.Merged()
+	if len(events) == 0 {
+		return fmt.Errorf("no trace events collected (were shippers pointed at %s?)", col.Addr())
+	}
+	if label != "" {
+		meta.Label = label
+	}
+	if out != "" {
+		if err := trace.WriteFileMeta(out, meta, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "gluon-trace: wrote %d merged events to %s\n", len(events), out)
+	}
+	return report(trace.SummarizeMeta(meta, events), asJSON)
+}
+
+func report(s *trace.Summary, asJSON bool) error {
+	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s); err != nil {
-			fmt.Fprintf(os.Stderr, "gluon-trace: %v\n", err)
-			os.Exit(1)
-		}
-		return
+		return enc.Encode(s)
 	}
-	if err := s.WriteTables(os.Stdout); err != nil {
-		fmt.Fprintf(os.Stderr, "gluon-trace: %v\n", err)
-		os.Exit(1)
-	}
-	if dropped > 0 {
-		fmt.Fprintf(os.Stderr, "gluon-trace: warning: %d events were dropped to ring overwrites; totals undercount\n", dropped)
-	}
+	return s.WriteTables(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gluon-trace:", err)
+	os.Exit(1)
 }

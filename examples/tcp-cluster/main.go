@@ -1,17 +1,36 @@
 // TCP cluster: run a Gluon system over real sockets instead of the
-// in-process hub. Each host gets its own TCP endpoint on localhost; the
-// byte streams crossing the connections are exactly the payloads Gluon
-// hands to MPI in the original system. The same binary could be launched
-// as separate OS processes, one per host, each dialing the shared address
-// list (this example keeps them in one process for a self-contained demo).
+// in-process hub. Each host gets its own TCP endpoint; the byte streams
+// crossing the connections are exactly the payloads Gluon hands to MPI in
+// the original system.
 //
-//	go run ./examples/tcp-cluster
+// Two modes:
+//
+//   - Demo (default): all hosts live in one process, dialing each other on
+//     localhost. Self-contained, verifies against sequential Dijkstra.
+//
+//     go run ./examples/tcp-cluster
+//
+//   - Multi-process: launch the binary once per host with -host N and the
+//     shared address list. Every process regenerates the same deterministic
+//     graph, partitions it identically, and drives only its own rank; the
+//     processes rendezvous over TCP exactly like MPI ranks. Each process
+//     verifies the masters it owns against Dijkstra.
+//
+//     go run ./examples/tcp-cluster -host 0 -addrs 127.0.0.1:39200,127.0.0.1:39201 &
+//     go run ./examples/tcp-cluster -host 1 -addrs 127.0.0.1:39200,127.0.0.1:39201
+//
+// With -collect, each process streams its trace to a gluon-trace collector
+// (`gluon-trace -serve :9123 -sessions N -o cluster.json`), which aligns
+// the per-process clocks and merges everything onto one timeline. See
+// README.md in this directory for the full recipe.
 package main
 
 import (
 	"errors"
+	"flag"
 	"fmt"
 	"log"
+	"strings"
 	"sync"
 	"time"
 
@@ -21,13 +40,25 @@ import (
 	"gluon/internal/dsys"
 	"gluon/internal/partition"
 	"gluon/internal/ref"
+	"gluon/internal/trace"
 )
 
-const hosts = 4
-
 func main() {
+	var (
+		host     = flag.Int("host", -1, "drive only this rank (multi-process mode; requires -addrs)")
+		addrsCSV = flag.String("addrs", "", "comma-separated host:port list, one per rank (its length is the cluster size)")
+		collect  = flag.String("collect", "", "stream this process's trace to a gluon-trace -serve collector at this address")
+		traceOut = flag.String("trace", "", "write this process's trace to a file")
+		watchdog = flag.Bool("watchdog", false, "run the straggler watchdog over heartbeat gossip")
+		wdStall  = flag.Duration("watchdog-stall", 0, "escalate a flagged stall to a cluster failure after this long")
+		scale    = flag.Uint("scale", 13, "generated graph has 2^scale nodes")
+	)
+	flag.Parse()
+
+	// Every process must derive the identical graph and partitioning, so all
+	// inputs are deterministic: fixed generator seed, fixed policy.
 	numNodes, edges, err := gluon.Generate(gluon.GraphConfig{
-		Kind: "rmat", Scale: 13, EdgeFactor: 8, Seed: 5, Weighted: true,
+		Kind: "rmat", Scale: *scale, EdgeFactor: 8, Seed: 5, Weighted: true,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -38,7 +69,21 @@ func main() {
 	}
 	source := csr.MaxOutDegreeNode()
 
-	// Partition for 4 hosts with the hybrid vertex-cut.
+	hosts := 4
+	var addrs []string
+	if *addrsCSV != "" {
+		addrs = strings.Split(*addrsCSV, ",")
+		hosts = len(addrs)
+	} else {
+		addrs = make([]string, hosts)
+		for h := range addrs {
+			addrs[h] = fmt.Sprintf("127.0.0.1:%d", 39200+h)
+		}
+	}
+
+	// Partition for the cluster with the hybrid vertex-cut. In multi-process
+	// mode every process runs this full partitioning and keeps one slice —
+	// wasteful but simple, and bitwise identical across processes.
 	out := make([]uint32, numNodes)
 	for u := uint32(0); u < csr.NumNodes(); u++ {
 		out[u] = csr.OutDegree(u)
@@ -53,13 +98,95 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var wcfg *trace.WatchdogConfig
+	if *watchdog || *wdStall > 0 {
+		wcfg = &trace.WatchdogConfig{StallTimeout: *wdStall}
+	}
+
+	if *host >= 0 {
+		runOneHost(*host, addrs, parts, csr, source, wcfg, *collect, *traceOut)
+		return
+	}
+	runDemo(addrs, parts, csr, source, wcfg, *collect, *traceOut)
+}
+
+// runOneHost is multi-process mode: this process drives exactly one rank.
+func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut string) {
+	if host >= len(addrs) {
+		log.Fatalf("-host %d out of range for %d addrs", host, len(addrs))
+	}
+	hosts := len(addrs)
+	prefix := fmt.Sprintf("host %d: ", host)
+
+	var tr *trace.Trace
+	if collect != "" || traceOut != "" {
+		tr = trace.New(trace.Config{Label: fmt.Sprintf("tcp-cluster host %d/%d", host, hosts)})
+	}
+
+	// Rendezvous with the other processes. The dial is bounded: a rank that
+	// never launches fails the mesh with an error naming it.
+	ep, err := comm.DialTCPConfig(host, addrs, comm.DialConfig{Timeout: 30 * time.Second})
+	if err != nil {
+		log.Fatal(prefix, err)
+	}
+	defer ep.Close()
+
+	if collect != "" {
+		sh, err := trace.StartShipper(trace.ShipperConfig{Addr: collect, Trace: tr})
+		if err != nil {
+			log.Fatal(prefix, err)
+		}
+		log.Printf("%sshipping trace to %s (%v)", prefix, collect, sh.Clock())
+		defer func() {
+			if err := sh.Close(); err != nil {
+				log.Printf("%strace shipper: %v", prefix, err)
+			}
+		}()
+	}
+
+	res, err := dsys.RunSingle(parts[host], ep, dsys.RunConfig{
+		Hosts:         hosts,
+		Policy:        partition.HVC,
+		Opt:           gluon.Opt(),
+		CollectValues: true,
+		Trace:         tr,
+		Watchdog:      wcfg,
+	}, sssp.NewGalois(uint64(source), 0))
+	if err != nil {
+		var pe *comm.PeerError
+		if errors.As(err, &pe) {
+			log.Fatalf("%scluster failed: host %d is dead: %v", prefix, pe.Host, err)
+		}
+		log.Fatal(prefix, err)
+	}
+
+	// Each process can only check the masters it owns; together the
+	// processes cover every node.
+	want := ref.SSSP(csr, source)
+	p := parts[host]
+	for lid := uint32(0); lid < p.NumMasters; lid++ {
+		gid := p.GID(lid)
+		if float64(want[gid]) != res.Values[gid] {
+			log.Fatalf("%snode %d: tcp run got %v, dijkstra got %d", prefix, gid, res.Values[gid], want[gid])
+		}
+	}
+	writeTrace(tr, traceOut, prefix)
+	fmt.Printf("%ssssp over TCP: rank %d of %d, %v, %d rounds, %d sync bytes sent; %d local masters verified ✓\n",
+		prefix, host, hosts, res.Time, res.Rounds, res.TotalCommBytes, p.NumMasters)
+}
+
+// runDemo is the self-contained mode: every rank lives in this process.
+func runDemo(addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut string) {
+	hosts := len(addrs)
+
+	var tr *trace.Trace
+	if collect != "" || traceOut != "" {
+		tr = trace.New(trace.Config{Label: fmt.Sprintf("tcp-cluster demo %d hosts", hosts)})
+	}
+
 	// Bring up the TCP mesh on localhost. Mesh establishment is bounded: a
 	// host that never comes up fails the dial with an error naming it,
 	// instead of blocking Accept forever.
-	addrs := make([]string, hosts)
-	for h := range addrs {
-		addrs[h] = fmt.Sprintf("127.0.0.1:%d", 39200+h)
-	}
 	endpoints := make([]comm.Transport, hosts)
 	var wg sync.WaitGroup
 	var dialErr error
@@ -90,11 +217,26 @@ func main() {
 		}
 	}()
 
+	if collect != "" {
+		sh, err := trace.StartShipper(trace.ShipperConfig{Addr: collect, Trace: tr})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("shipping trace to %s (%v)", collect, sh.Clock())
+		defer func() {
+			if err := sh.Close(); err != nil {
+				log.Printf("trace shipper: %v", err)
+			}
+		}()
+	}
+
 	res, err := dsys.RunWithTransports(parts, endpoints, dsys.RunConfig{
 		Hosts:         hosts,
 		Policy:        partition.HVC,
 		Opt:           gluon.Opt(),
 		CollectValues: true,
+		Trace:         tr,
+		Watchdog:      wcfg,
 	}, sssp.NewGalois(uint64(source), 0))
 	if err != nil {
 		// A host dying mid-run surfaces as a typed *comm.PeerError naming
@@ -116,8 +258,19 @@ func main() {
 	for _, ep := range endpoints {
 		wire += ep.Stats().BytesSent
 	}
+	writeTrace(tr, traceOut, "")
 	fmt.Printf("sssp over TCP: %d hosts on localhost, %v, %d rounds\n", hosts, res.Time, res.Rounds)
 	fmt.Printf("field-sync payload: %d bytes; total wire traffic incl. barriers: %d bytes\n",
 		res.TotalCommBytes, wire)
 	fmt.Println("results verified identical to sequential Dijkstra ✓")
+}
+
+func writeTrace(tr *trace.Trace, path, prefix string) {
+	if tr == nil || path == "" {
+		return
+	}
+	if err := tr.WriteFile(path); err != nil {
+		log.Fatal(prefix, err)
+	}
+	log.Printf("%swrote trace to %s", prefix, path)
 }

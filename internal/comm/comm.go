@@ -95,6 +95,10 @@ const (
 	TagAllGather Tag = 0xFFFF0003
 	TagMemo      Tag = 0xFFFF0004
 	TagTerm      Tag = 0xFFFF0005
+	// TagHeartbeat carries the watchdog's liveness gossip (see dsys); it
+	// rides the data transport but never blocks a sync: heartbeats are
+	// fire-and-forget and drained by a dedicated goroutine per host.
+	TagHeartbeat Tag = 0xFFFF0006
 	TagUser      Tag = 0x00010000 // first tag available to applications
 )
 

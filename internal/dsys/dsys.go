@@ -103,6 +103,15 @@ type RunConfig struct {
 	// substrate, transport, and BSP driver into one session (export with
 	// Trace.WriteFile, analyze with cmd/gluon-trace). Nil disables tracing.
 	Trace *trace.Trace
+	// Watchdog, when non-nil, runs the straggler/stall watchdog over the
+	// run: hosts gossip heartbeats on comm.TagHeartbeat, rounds exceeding
+	// Factor× the trailing-median round time are flagged with the suspect
+	// host and phase named, and a stall persisting past StallTimeout fails
+	// the cluster through the PeerError path with a *trace.StallError
+	// diagnosis attached. Nil disables the watchdog entirely (no gossip, no
+	// goroutines). Works with or without Trace: without, a hidden disabled
+	// session carries the liveness counters at zero event cost.
+	Watchdog *trace.WatchdogConfig
 }
 
 // Run partitions the graph, spins up one goroutine per host over an
@@ -159,6 +168,15 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 	if len(ts) != hosts {
 		return nil, fmt.Errorf("dsys: %d partitions but %d transports", hosts, len(ts))
 	}
+	if cfg.Watchdog != nil {
+		ensureLivenessTrace(&cfg)
+		eps := make([]wdEndpoint, hosts)
+		for h := 0; h < hosts; h++ {
+			eps[h] = wdEndpoint{host: h, t: ts[h]}
+		}
+		wd := startRunWatchdog(cfg.Trace, eps, hosts, *cfg.Watchdog)
+		defer wd.stop()
+	}
 	results := make([]*hostRun, hosts)
 	errs := make([]error, hosts)
 	var wg sync.WaitGroup
@@ -187,6 +205,37 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 		return nil, fmt.Errorf("dsys: host %d: %w", h, err)
 	}
 	return aggregate(parts, results, cfg)
+}
+
+// RunSingle runs ONE host of a multi-process cluster: the local partition
+// over a caller-supplied transport (typically a TCP endpoint whose peers
+// live in other OS processes). It is the per-process entry point behind
+// examples/tcp-cluster's -host mode: every process calls RunSingle with its
+// own partition and rank, and the BSP rounds rendezvous over the wire.
+//
+// The returned Result aggregates this host only — cluster-wide maxima
+// (MaxCompute, Time) reflect the local host, and Values (with
+// CollectValues) holds only local masters' entries; merge across processes
+// if global views are needed. The watchdog, when configured, gossips with
+// the remote peers over TagHeartbeat and can only poison this process's
+// transport on escalation; remote processes run their own watchdogs and
+// reach the same verdict independently.
+//
+// Fault contract: when the local driver fails, the transport is closed
+// before returning, so remote peers' pending receives fail with a
+// *comm.PeerError naming this host instead of blocking forever.
+func RunSingle(p *partition.Partition, t comm.Transport, cfg RunConfig, factory ProgramFactory) (*Result, error) {
+	if cfg.Watchdog != nil {
+		ensureLivenessTrace(&cfg)
+		wd := startRunWatchdog(cfg.Trace, []wdEndpoint{{host: p.HostID, t: t}}, t.NumHosts(), *cfg.Watchdog)
+		defer wd.stop()
+	}
+	hr, err := runHost(p, t, cfg, factory)
+	if err != nil {
+		t.Close() // drop the mesh so remote receives poison loudly
+		return nil, fmt.Errorf("dsys: host %d: %w", p.HostID, err)
+	}
+	return aggregate([]*partition.Partition{p}, []*hostRun{hr}, cfg)
 }
 
 // firstFailure picks the error to report for a failed run. Propagation
@@ -255,6 +304,7 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 			break
 		}
 		rec.SetRound(int32(round))
+		rec.SetLivePhase(trace.PhaseCompute)
 		compStart := time.Now()
 		var t0 int64
 		if tr {
@@ -272,10 +322,12 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		hr.perRoundComp = append(hr.perRoundComp, comp)
 
 		syncStart := time.Now()
+		rec.SetLivePhase(trace.PhaseSync)
 		if err := prog.Sync(updated); err != nil {
 			return nil, err
 		}
 		active := uint64(updated.Count())
+		rec.SetLivePhase(trace.PhaseBarrier)
 		if tr {
 			t0 = rec.Now()
 		}

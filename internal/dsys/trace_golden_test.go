@@ -8,7 +8,10 @@ package dsys_test
 // about what went on the wire.
 
 import (
+	"fmt"
+	"sync"
 	"testing"
+	"time"
 
 	"gluon/internal/algorithms/bfs"
 	"gluon/internal/dsys"
@@ -204,5 +207,171 @@ func TestTraceSumsEqualStats(t *testing.T) {
 	}
 	if sum != int64(res.MaxComm) {
 		t.Errorf("sum(RoundComm) = %d, MaxComm = %d", sum, int64(res.MaxComm))
+	}
+}
+
+// TestSidebandMergedMatchesGoldenVolumes is the collection-plane golden
+// test: the bfs/cvc/osti fixture run as a process-equivalent TCP cluster —
+// every rank driven by its own dsys.RunSingle with its own Trace session
+// and its own sideband Shipper, exactly as separate OS processes would —
+// collected by one Collector and merged onto the collector's clock. The
+// merged timeline's per-round encode byte sums must reproduce the pinned
+// golden volumes byte for byte: clock alignment and incremental flushing
+// may reorder and rebase events, never lose or distort them.
+func TestSidebandMergedMatchesGoldenVolumes(t *testing.T) {
+	const golden = 3 // goldenRows index of bfs/cvc/osti
+	row := goldenRows[golden]
+	if row.alg != "bfs" || row.policy != partition.CVC || row.config != "osti" {
+		t.Fatalf("goldenRows[%d] is %s/%s/%s, want bfs/cvc/osti", golden, row.alg, row.policy, row.config)
+	}
+	const hosts = 8
+
+	cfg := generate.Config{Kind: "rmat", Scale: 10, EdgeFactor: 8, Seed: 42}
+	edges, err := generate.Edges(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	numNodes := cfg.NumNodes()
+	outDeg := make([]uint32, numNodes)
+	inDeg := make([]uint32, numNodes)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		inDeg[e.Dst]++
+	}
+	pol, err := partition.NewPolicy(row.policy, numNodes, hosts,
+		partition.Options{OutDegrees: outDeg, InDegrees: inDeg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.PartitionAll(numNodes, edges, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	col, err := trace.ListenAndCollect("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	ts := tcpTransports(t, hosts, 42600)
+
+	// One driver per rank, each with a private trace session shipped over
+	// the sideband — the process-equivalence boundary.
+	errs := make([]error, hosts)
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			tr := trace.New(trace.Config{Label: fmt.Sprintf("golden rank %d", h)})
+			sh, err := trace.StartShipper(trace.ShipperConfig{
+				Addr: col.Addr(), Trace: tr, Interval: 20 * time.Millisecond,
+			})
+			if err != nil {
+				errs[h] = err
+				return
+			}
+			_, err = dsys.RunSingle(parts[h], ts[h], dsys.RunConfig{
+				Hosts:     hosts,
+				Policy:    row.policy,
+				Opt:       goldenOpt(row.config),
+				MaxRounds: 50,
+				Trace:     tr,
+			}, bfs.NewLigra(0, 1))
+			if cerr := sh.Close(); err == nil {
+				err = cerr
+			}
+			errs[h] = err
+		}(h)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("process-equivalent cluster still running after 60s")
+	}
+	for h, err := range errs {
+		if err != nil {
+			for _, cerr := range col.Errs() {
+				t.Logf("collector session error: %v", cerr)
+			}
+			t.Fatalf("rank %d: %v", h, err)
+		}
+	}
+
+	// Every shipper sent its bye; wait for the collector to finish the
+	// session bookkeeping before merging.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, completed := col.Sessions(); completed >= hosts {
+			break
+		}
+		if time.Now().After(deadline) {
+			_, completed := col.Sessions()
+			t.Fatalf("only %d of %d sideband sessions completed", completed, hosts)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	col.Close()
+	for _, err := range col.Errs() {
+		t.Errorf("sideband session error: %v", err)
+	}
+
+	events, meta := col.Merged()
+	if meta.Dropped != 0 {
+		t.Fatalf("merged trace dropped %d events; golden sums would undercount", meta.Dropped)
+	}
+	if len(meta.Clocks) != hosts {
+		t.Fatalf("merged trace carries %d clock entries, want %d", len(meta.Clocks), hosts)
+	}
+	for _, ci := range meta.Clocks {
+		if ci.Samples == 0 {
+			t.Errorf("host %d clock offset has no samples", ci.Host)
+		}
+	}
+	// The merge must put everything on one axis, sorted.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatalf("merged events not sorted at %d: %d after %d", i, events[i].Start, events[i-1].Start)
+		}
+	}
+
+	// Per-round byte sums across all collected sessions must reproduce the
+	// pinned golden volumes exactly.
+	tot := foldEncodeSpans(events)
+	if tot.spans != row.msgs {
+		t.Errorf("merged encode spans = %d, golden messages %d", tot.spans, row.msgs)
+	}
+	if got := tot.value + tot.meta + tot.gid; got != row.bytes {
+		t.Errorf("merged encode byte tags sum to %d, golden volume %d", got, row.bytes)
+	}
+	if tot.modes != row.modes {
+		t.Errorf("merged encode mode histogram = %v, golden %v", tot.modes, row.modes)
+	}
+	perRound := map[int32]uint64{}
+	for _, e := range events {
+		if e.Phase == trace.PhaseEncode {
+			perRound[e.Round] += e.Value + e.Meta + e.GID
+		}
+	}
+	var roundSum uint64
+	for r, b := range perRound {
+		if r >= int32(row.rounds) {
+			t.Errorf("encode bytes recorded for round %d beyond golden %d rounds", r, row.rounds)
+		}
+		roundSum += b
+	}
+	if roundSum != row.bytes {
+		t.Errorf("per-round byte sums total %d, golden volume %d", roundSum, row.bytes)
+	}
+
+	// The analyzer over the merged trace agrees with the raw fold.
+	s := trace.SummarizeMeta(meta, events)
+	if s.Messages != row.msgs {
+		t.Errorf("SummarizeMeta messages = %d, golden %d", s.Messages, row.msgs)
+	}
+	if s.TotalBytes() != row.bytes {
+		t.Errorf("SummarizeMeta total bytes = %d, golden %d", s.TotalBytes(), row.bytes)
 	}
 }

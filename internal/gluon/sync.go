@@ -189,6 +189,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	sendErr := ps.errChan()
 	go func() {
 		sendErr <- par.RangeWorkers(len(sendPeers), g.Opt.SyncWorkers, func(w, lo, hi int) error {
+			defer trace.LabelPhase(trace.PhaseEncode)()
 			sc := getEncodeScratch()
 			defer putEncodeScratch(sc)
 			var st Stats
@@ -251,12 +252,18 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	ps.rem = remaining
 	stages := ps.hostStages(g.NumHosts())
 	applyIdx := 0
+	defer trace.LabelPhase(trace.PhaseFold)()
 	for len(remaining) > 0 {
 		var t0 int64
 		if tr {
 			t0 = rec.Now()
 		}
+		// The live-phase flips cost two atomic stores per message (nil-safe,
+		// alloc-free); they let the watchdog tell a host blocked waiting on a
+		// peer (a victim) from one still producing (a suspect).
+		rec.SetLivePhase(trace.PhaseRecvWait)
 		h, payload, err := g.T.RecvAny(tag, remaining)
+		rec.SetLivePhase(trace.PhaseFold)
 		if err != nil {
 			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
 		}
@@ -370,6 +377,7 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 	sendErr := ps.errChan()
 	go func() {
 		sendErr <- par.RangeWorkers(len(sendPeers), g.Opt.SyncWorkers, func(w, lo, hi int) error {
+			defer trace.LabelPhase(trace.PhaseEncode)()
 			sc := getEncodeScratch()
 			defer putEncodeScratch(sc)
 			var st Stats
@@ -403,12 +411,15 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 		})
 	}()
 
+	defer trace.LabelPhase(trace.PhaseApply)()
 	for len(recvPeers) > 0 {
 		var t0 int64
 		if tr {
 			t0 = rec.Now()
 		}
+		rec.SetLivePhase(trace.PhaseRecvWait)
 		h, payload, err := g.T.RecvAny(tag, recvPeers)
+		rec.SetLivePhase(trace.PhaseApply)
 		if err != nil {
 			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
 		}

@@ -16,6 +16,9 @@ type Summary struct {
 	Events  int    `json:"events"`
 	Dropped uint64 `json:"dropped"`
 	Hosts   int    `json:"hosts"`
+	// Clocks is the per-host offset table of a merged multi-process trace
+	// (empty for single-process traces).
+	Clocks []ClockInfo `json:"clocks,omitempty"`
 	// WallNs spans the earliest event start to the latest event end.
 	WallNs int64 `json:"wall_ns"`
 
@@ -66,7 +69,13 @@ type PeerStat struct {
 // Summarize rolls events up into a Summary. The dropped count is carried
 // through for display.
 func Summarize(label string, events []Event, dropped uint64) *Summary {
-	s := &Summary{Label: label, Events: len(events), Dropped: dropped}
+	return SummarizeMeta(Meta{Label: label, Dropped: dropped}, events)
+}
+
+// SummarizeMeta rolls events up into a Summary, carrying the export metadata
+// (label, dropped count, clock table) through for display.
+func SummarizeMeta(meta Meta, events []Event) *Summary {
+	s := &Summary{Label: meta.Label, Events: len(events), Dropped: meta.Dropped, Clocks: meta.Clocks}
 	if len(events) == 0 {
 		return s
 	}
@@ -190,8 +199,17 @@ func (s *Summary) WriteTables(w io.Writer) error {
 		label, s.Events, s.Hosts, len(s.Rounds), s.Dropped, round3(time.Duration(s.WallNs))); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "totals: %d messages, %s (value %s / metadata %s / gids %s)\n\n",
+	fmt.Fprintf(w, "totals: %d messages, %s (value %s / metadata %s / gids %s)\n",
 		s.Messages, fmtBytes(s.TotalBytes()), fmtBytes(s.ValueBytes), fmtBytes(s.MetaBytes), fmtBytes(s.GIDBytes))
+	if len(s.Clocks) > 0 {
+		fmt.Fprint(w, "clock offsets (applied at merge):")
+		for _, ci := range s.Clocks {
+			fmt.Fprintf(w, " host %d %+v ±%v;", ci.Host,
+				round3(time.Duration(ci.OffsetNs)), round3(time.Duration(ci.UncertaintyNs)))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
 
 	if len(s.Rounds) > 0 {
 		fmt.Fprintln(w, "per-round volume & time (time columns are max across hosts):")

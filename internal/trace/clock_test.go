@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fakeExchange simulates one NTP probe between a local clock and a remote
+// clock running trueOffset ahead, with independently chosen forward and
+// backward wire delays per probe.
+type fakeExchange struct {
+	local      int64 // local clock now
+	trueOffset int64 // remote clock = local clock + trueOffset
+	delays     [][2]int64
+	i          int
+	errAt      map[int]error
+}
+
+func (f *fakeExchange) exchange() (t0, t1, t2, t3 int64, err error) {
+	if e := f.errAt[f.i]; e != nil {
+		f.i++
+		return 0, 0, 0, 0, e
+	}
+	d := f.delays[f.i%len(f.delays)]
+	f.i++
+	fwd, back := d[0], d[1]
+	t0 = f.local
+	t1 = t0 + fwd + f.trueOffset
+	t2 = t1 + 100 // remote processing time
+	t3 = t0 + fwd + 100 + back
+	f.local = t3 + 1000 // time passes between probes
+	return
+}
+
+func TestEstimateOffsetSymmetric(t *testing.T) {
+	// Symmetric legs: the estimate is exact whatever the delay magnitude.
+	f := &fakeExchange{trueOffset: 7_000_000, delays: [][2]int64{{50_000, 50_000}, {900_000, 900_000}, {10_000, 10_000}}}
+	info, err := EstimateOffset(6, f.exchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.OffsetNs != 7_000_000 {
+		t.Fatalf("offset = %d, want exactly 7000000 under symmetric delays", info.OffsetNs)
+	}
+	// Min-RTT sample is the 10µs probe: rtt = fwd + back.
+	if info.RTTNs != 20_000 {
+		t.Fatalf("rtt = %d, want 20000 (min-RTT sample)", info.RTTNs)
+	}
+	if info.UncertaintyNs != 10_000 {
+		t.Fatalf("uncertainty = %d, want rtt/2", info.UncertaintyNs)
+	}
+	if info.Samples != 6 {
+		t.Fatalf("samples = %d, want 6", info.Samples)
+	}
+}
+
+func TestEstimateOffsetAsymmetricBounded(t *testing.T) {
+	// Injected asymmetric delays: for legs (fwd, back) the estimate is off by
+	// (fwd-back)/2, which must stay within the reported uncertainty
+	// (fwd+back)/2. Exercise several asymmetry ratios including the extremes.
+	const trueOffset = -3_000_000
+	cases := [][2]int64{
+		{100_000, 900_000}, // back-loaded
+		{900_000, 100_000}, // front-loaded
+		{500_000, 500_000},
+		{1, 999_999}, // nearly all delay on one leg
+		{250_000, 750_000},
+	}
+	for _, d := range cases {
+		d := d
+		t.Run(fmt.Sprintf("fwd=%d/back=%d", d[0], d[1]), func(t *testing.T) {
+			f := &fakeExchange{trueOffset: trueOffset, delays: [][2]int64{d}}
+			info, err := EstimateOffset(4, f.exchange)
+			if err != nil {
+				t.Fatal(err)
+			}
+			errNs := info.OffsetNs - trueOffset
+			if errNs < 0 {
+				errNs = -errNs
+			}
+			if errNs > info.UncertaintyNs {
+				t.Fatalf("estimation error %dns exceeds reported uncertainty %dns", errNs, info.UncertaintyNs)
+			}
+			wantErr := (d[0] - d[1]) / 2
+			if wantErr < 0 {
+				wantErr = -wantErr
+			}
+			if errNs != wantErr {
+				t.Fatalf("estimation error %dns, analytic asymmetry bias %dns", errNs, wantErr)
+			}
+		})
+	}
+}
+
+func TestEstimateOffsetPicksMinRTT(t *testing.T) {
+	// A wildly asymmetric slow probe followed by a fast clean one: the fast
+	// probe's estimate must win.
+	f := &fakeExchange{trueOffset: 1_000_000, delays: [][2]int64{{5_000_000, 100_000}, {10_000, 10_000}}}
+	info, err := EstimateOffset(2, f.exchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.OffsetNs != 1_000_000 {
+		t.Fatalf("offset = %d: min-RTT probe should have given the exact offset", info.OffsetNs)
+	}
+}
+
+func TestEstimateOffsetErrors(t *testing.T) {
+	fail := fmt.Errorf("boom")
+	// All probes failing is fatal.
+	f := &fakeExchange{delays: [][2]int64{{1, 1}}, errAt: map[int]error{0: fail, 1: fail, 2: fail}}
+	if _, err := EstimateOffset(3, f.exchange); err == nil {
+		t.Fatal("want error when every probe fails")
+	}
+	// A late failure after a good sample keeps the measurement.
+	f = &fakeExchange{trueOffset: 42, delays: [][2]int64{{10, 10}}, errAt: map[int]error{1: fail}}
+	info, err := EstimateOffset(5, f.exchange)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Samples != 1 || info.OffsetNs != 42 {
+		t.Fatalf("late probe failure should keep the first sample, got %+v", info)
+	}
+}
+
+func TestAlignEvents(t *testing.T) {
+	events := []Event{
+		{Host: 1, Start: 100, Phase: PhaseCompute}, // runs 50ns behind host 0
+		{Host: 0, Start: 120, Phase: PhaseCompute},
+		{Host: 2, Start: 130, Phase: PhaseCompute}, // no offset entry: untouched
+	}
+	AlignEvents(events, map[int32]int64{1: 50})
+	if events[0].Host != 0 || events[1].Host != 2 || events[2].Host != 1 {
+		t.Fatalf("aligned order = %d,%d,%d, want hosts 0,2,1", events[0].Host, events[1].Host, events[2].Host)
+	}
+	for _, e := range events {
+		if e.Host == 1 && e.Start != 150 {
+			t.Fatalf("host 1 start = %d, want 150 after +50 rebase", e.Start)
+		}
+		if e.Host == 2 && e.Start != 130 {
+			t.Fatalf("host 2 start = %d, want untouched 130", e.Start)
+		}
+	}
+	// Empty offset table is a no-op, including ordering.
+	before := append([]Event(nil), events...)
+	AlignEvents(events, nil)
+	for i := range events {
+		if events[i] != before[i] {
+			t.Fatal("AlignEvents with no offsets must not modify events")
+		}
+	}
+}

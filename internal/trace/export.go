@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -29,6 +30,13 @@ func (p *Phase) UnmarshalJSON(b []byte) error {
 			*p = ph
 			return nil
 		}
+		if s == "unknown" {
+			// The idle/unset live phase (NumPhases) round-trips through its
+			// String form — heartbeats of hosts that have not published a
+			// phase yet carry it.
+			*p = NumPhases
+			return nil
+		}
 		return fmt.Errorf("trace: unknown phase %q", s)
 	}
 	var n uint8
@@ -39,13 +47,24 @@ func (p *Phase) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// Meta is the non-event payload of an export: the session label, the
+// cluster-wide count of events lost to ring overwrites or sideband ring
+// wraps, and — for merged multi-process traces — the measured per-host clock
+// offsets the timestamps were rebased by, each with its error bound.
+type Meta struct {
+	Label   string      `json:"label,omitempty"`
+	Dropped uint64      `json:"dropped"`
+	Clocks  []ClockInfo `json:"clocks,omitempty"`
+}
+
 // jsonlHeader is the first line of a JSONL export.
 type jsonlHeader struct {
-	Trace   string `json:"trace"`
-	Version int    `json:"version"`
-	Label   string `json:"label,omitempty"`
-	Events  int    `json:"events"`
-	Dropped uint64 `json:"dropped"`
+	Trace   string      `json:"trace"`
+	Version int         `json:"version"`
+	Label   string      `json:"label,omitempty"`
+	Events  int         `json:"events"`
+	Dropped uint64      `json:"dropped"`
+	Clocks  []ClockInfo `json:"clocks,omitempty"`
 }
 
 const formatVersion = 1
@@ -58,9 +77,16 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 
 // WriteJSONL writes a header line followed by one event per line.
 func WriteJSONL(w io.Writer, label string, events []Event, dropped uint64) error {
+	return WriteJSONLMeta(w, Meta{Label: label, Dropped: dropped}, events)
+}
+
+// WriteJSONLMeta writes a header line carrying meta followed by one event
+// per line.
+func WriteJSONLMeta(w io.Writer, meta Meta, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(jsonlHeader{Trace: "gluon", Version: formatVersion, Label: label, Events: len(events), Dropped: dropped}); err != nil {
+	hdr := jsonlHeader{Trace: "gluon", Version: formatVersion, Label: meta.Label, Events: len(events), Dropped: meta.Dropped, Clocks: meta.Clocks}
+	if err := enc.Encode(hdr); err != nil {
 		return err
 	}
 	for i := range events {
@@ -99,10 +125,11 @@ type chromeArgs struct {
 }
 
 type chromeOther struct {
-	Trace   string `json:"trace"`
-	Version int    `json:"version"`
-	Label   string `json:"label,omitempty"`
-	Dropped uint64 `json:"dropped"`
+	Trace   string      `json:"trace"`
+	Version int         `json:"version"`
+	Label   string      `json:"label,omitempty"`
+	Dropped uint64      `json:"dropped"`
+	Clocks  []ClockInfo `json:"clocks,omitempty"`
 }
 
 type chromeDoc struct {
@@ -118,12 +145,17 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	return WriteChrome(w, t.Label(), events, dropped)
 }
 
-// WriteChrome writes events as a trace_event JSON document, streaming one
-// record per line so multi-million-event traces don't need a second copy in
-// memory.
+// WriteChrome writes events as a trace_event JSON document.
 func WriteChrome(w io.Writer, label string, events []Event, dropped uint64) error {
+	return WriteChromeMeta(w, Meta{Label: label, Dropped: dropped}, events)
+}
+
+// WriteChromeMeta writes events as a trace_event JSON document, streaming
+// one record per line so multi-million-event traces don't need a second copy
+// in memory. meta lands in otherData, where Perfetto surfaces it.
+func WriteChromeMeta(w io.Writer, meta Meta, events []Event) error {
 	bw := bufio.NewWriter(w)
-	other, err := json.Marshal(&chromeOther{Trace: "gluon", Version: formatVersion, Label: label, Dropped: dropped})
+	other, err := json.Marshal(&chromeOther{Trace: "gluon", Version: formatVersion, Label: meta.Label, Dropped: meta.Dropped, Clocks: meta.Clocks})
 	if err != nil {
 		return err
 	}
@@ -189,15 +221,22 @@ func WriteChrome(w io.Writer, label string, events []Event, dropped uint64) erro
 // WriteFile exports the session to path, choosing the format by extension:
 // ".jsonl" writes JSONL, anything else the Chrome trace_event format.
 func (t *Trace) WriteFile(path string) error {
+	events, dropped := t.Snapshot()
+	return WriteFileMeta(path, Meta{Label: t.Label(), Dropped: dropped}, events)
+}
+
+// WriteFileMeta exports events with meta to path, format by extension as in
+// Trace.WriteFile.
+func WriteFileMeta(path string, meta Meta, events []Event) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	var werr error
 	if strings.HasSuffix(path, ".jsonl") {
-		werr = t.WriteJSONL(f)
+		werr = WriteJSONLMeta(f, meta, events)
 	} else {
-		werr = t.WriteChrome(f)
+		werr = WriteChromeMeta(f, meta, events)
 	}
 	if cerr := f.Close(); werr == nil {
 		werr = cerr
@@ -208,9 +247,16 @@ func (t *Trace) WriteFile(path string) error {
 // ReadEvents parses either export format, auto-detected, and returns the
 // events in file order plus the recorded dropped count.
 func ReadEvents(r io.Reader) ([]Event, uint64, error) {
+	events, meta, err := ReadEventsMeta(r)
+	return events, meta.Dropped, err
+}
+
+// ReadEventsMeta parses either export format, auto-detected, returning the
+// events in file order plus the full recorded metadata.
+func ReadEventsMeta(r io.Reader) ([]Event, Meta, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
-		return nil, 0, err
+		return nil, Meta{}, err
 	}
 	var probe map[string]json.RawMessage
 	if json.Unmarshal(data, &probe) == nil {
@@ -223,22 +269,33 @@ func ReadEvents(r io.Reader) ([]Event, uint64, error) {
 
 // ReadFile parses a trace export from disk.
 func ReadFile(path string) ([]Event, uint64, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, 0, err
-	}
-	defer f.Close()
-	return ReadEvents(f)
+	events, meta, err := ReadFileMeta(path)
+	return events, meta.Dropped, err
 }
 
-func readChrome(data []byte) ([]Event, uint64, error) {
+// ReadFileMeta parses a trace export from disk, metadata included.
+func ReadFileMeta(path string) ([]Event, Meta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Meta{}, err
+	}
+	defer f.Close()
+	return ReadEventsMeta(f)
+}
+
+// sortEventsByStart orders events on the (shared or aligned) time axis.
+func sortEventsByStart(events []Event) {
+	sort.SliceStable(events, func(i, j int) bool { return events[i].Start < events[j].Start })
+}
+
+func readChrome(data []byte) ([]Event, Meta, error) {
 	var doc chromeDoc
 	if err := json.Unmarshal(data, &doc); err != nil {
-		return nil, 0, fmt.Errorf("trace: parsing chrome trace: %w", err)
+		return nil, Meta{}, fmt.Errorf("trace: parsing chrome trace: %w", err)
 	}
-	var dropped uint64
+	var meta Meta
 	if doc.OtherData != nil {
-		dropped = doc.OtherData.Dropped
+		meta = Meta{Label: doc.OtherData.Label, Dropped: doc.OtherData.Dropped, Clocks: doc.OtherData.Clocks}
 	}
 	events := make([]Event, 0, len(doc.TraceEvents))
 	for _, ce := range doc.TraceEvents {
@@ -266,39 +323,45 @@ func readChrome(data []byte) ([]Event, uint64, error) {
 		}
 		events = append(events, e)
 	}
-	return events, dropped, nil
+	return events, meta, nil
 }
 
-func readJSONL(data []byte) ([]Event, uint64, error) {
+func readJSONL(data []byte) ([]Event, Meta, error) {
 	sc := bufio.NewScanner(strings.NewReader(string(data)))
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	var events []Event
-	var dropped uint64
+	var meta Meta
 	lineNo := 0
+	sawHeader := false
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		lineNo++
 		if line == "" {
 			continue
 		}
-		if lineNo == 1 && strings.Contains(line, `"trace":"gluon"`) {
+		if !sawHeader {
+			// The first record must be the gluon header: without it,
+			// arbitrary JSON would silently parse as zero-valued events and
+			// a corrupt file would masquerade as an empty-but-valid trace.
 			var hdr jsonlHeader
-			if err := json.Unmarshal([]byte(line), &hdr); err == nil && hdr.Trace == "gluon" {
-				dropped = hdr.Dropped
-				continue
+			if err := json.Unmarshal([]byte(line), &hdr); err != nil || hdr.Trace != "gluon" {
+				return nil, Meta{}, fmt.Errorf("trace: line %d: not a gluon trace export (missing header)", lineNo)
 			}
+			meta = Meta{Label: hdr.Label, Dropped: hdr.Dropped, Clocks: hdr.Clocks}
+			sawHeader = true
+			continue
 		}
 		var e Event
 		if err := json.Unmarshal([]byte(line), &e); err != nil {
-			return nil, 0, fmt.Errorf("trace: line %d: %w", lineNo, err)
+			return nil, Meta{}, fmt.Errorf("trace: line %d: %w", lineNo, err)
 		}
 		events = append(events, e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, 0, err
+		return nil, Meta{}, err
 	}
-	if len(events) == 0 && dropped == 0 && lineNo == 0 {
-		return nil, 0, fmt.Errorf("trace: empty input")
+	if !sawHeader {
+		return nil, Meta{}, fmt.Errorf("trace: empty input")
 	}
-	return events, dropped, nil
+	return events, meta, nil
 }

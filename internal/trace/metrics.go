@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -22,26 +23,52 @@ type MetricsServer struct {
 }
 
 // ServeMetrics starts an HTTP server on addr (e.g. "localhost:6060" or
-// ":0") exposing the session's live counters as JSON at "/", "/metrics",
-// and "/debug/vars". The server runs until Close.
+// ":0") exposing the session's live counters at "/", "/metrics", and
+// "/debug/vars" — JSON by default, Prometheus text exposition when the
+// request asks for it (?format=prometheus, or a text/plain / openmetrics
+// Accept header, i.e. a standard Prometheus scrape) — plus the
+// net/http/pprof capture tree under /debug/pprof/ for on-demand CPU and
+// heap profiles. The server runs until Close.
 func ServeMetrics(addr string, t *Trace) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("trace: metrics listen %s: %w", addr, err)
 	}
 	mux := http.NewServeMux()
-	handler := func(w http.ResponseWriter, _ *http.Request) {
+	handler := func(w http.ResponseWriter, r *http.Request) {
+		live := t.Live()
+		if wantsPrometheus(r) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			WritePrometheus(w, &live)
+			return
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(t.Live())
+		enc.Encode(live)
 	}
 	mux.HandleFunc("/", handler)
 	mux.HandleFunc("/metrics", handler)
 	mux.HandleFunc("/debug/vars", handler)
+	registerPprof(mux)
 	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux}}
 	go ms.srv.Serve(ln)
 	return ms, nil
+}
+
+// wantsPrometheus decides the exposition format: an explicit
+// ?format=prometheus|json wins, then a scrape-style Accept header
+// (text/plain or OpenMetrics). JSON stays the default for browsers and
+// curl-without-headers.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
 }
 
 // Addr returns the bound address (resolves ":0" requests).

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Prometheus text exposition of the live rollup, served by the metrics
+// endpoint next to the JSON view so a standard scraper can chart a run
+// without a sidecar translator. Only counters and gauges derived from the
+// atomic rollup — nothing here touches the event rings.
+
+// WritePrometheus renders s in the Prometheus text exposition format
+// (version 0.0.4).
+func WritePrometheus(w io.Writer, s *LiveStats) error {
+	bw := bufio.NewWriter(w)
+	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
+
+	p("# HELP gluon_trace_events_total Trace events recorded this session.\n")
+	p("# TYPE gluon_trace_events_total counter\n")
+	p("gluon_trace_events_total %d\n", s.Events)
+
+	p("# HELP gluon_trace_dropped_total Trace events lost to ring overwrites.\n")
+	p("# TYPE gluon_trace_dropped_total counter\n")
+	p("gluon_trace_dropped_total %d\n", s.Dropped)
+
+	p("# HELP gluon_round Highest BSP round observed (-1 before the first round).\n")
+	p("# TYPE gluon_round gauge\n")
+	p("gluon_round %d\n", s.MaxRound)
+
+	p("# HELP gluon_sync_messages_total Sync messages encoded (one per peer per field sync).\n")
+	p("# TYPE gluon_sync_messages_total counter\n")
+	p("gluon_sync_messages_total %d\n", s.Messages)
+
+	p("# HELP gluon_sync_bytes_total Post-compression sync payload bytes by kind.\n")
+	p("# TYPE gluon_sync_bytes_total counter\n")
+	p("gluon_sync_bytes_total{kind=\"value\"} %d\n", s.ValueBytes)
+	p("gluon_sync_bytes_total{kind=\"metadata\"} %d\n", s.MetaBytes)
+	p("gluon_sync_bytes_total{kind=\"gid\"} %d\n", s.GIDBytes)
+
+	var faults uint64
+	if ph, ok := s.Phases[PhaseFault.String()]; ok {
+		faults = ph.Count
+	}
+	p("# HELP gluon_faults_total Fault events (poisonings, injected faults, dead hosts).\n")
+	p("# TYPE gluon_faults_total counter\n")
+	p("gluon_faults_total %d\n", faults)
+
+	p("# HELP gluon_phase_events_total Trace events by phase.\n")
+	p("# TYPE gluon_phase_events_total counter\n")
+	p("# HELP gluon_phase_duration_seconds_total Time spent in each phase, summed over hosts.\n")
+	p("# TYPE gluon_phase_duration_seconds_total counter\n")
+	for _, name := range sortedKeys(s.Phases) {
+		ph := s.Phases[name]
+		p("gluon_phase_events_total{phase=%q} %d\n", name, ph.Count)
+		p("gluon_phase_duration_seconds_total{phase=%q} %.9f\n", name, float64(ph.DurNs)/1e9)
+	}
+
+	p("# HELP gluon_encode_mode_total Sync messages by wire encoding mode.\n")
+	p("# TYPE gluon_encode_mode_total counter\n")
+	for _, name := range sortedKeys(s.Modes) {
+		p("gluon_encode_mode_total{mode=%q} %d\n", name, s.Modes[name])
+	}
+	return bw.Flush()
+}
+
+// sortedKeys returns a map's keys in lexical order so scrapes are stable.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

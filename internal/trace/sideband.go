@@ -1,0 +1,553 @@
+package trace
+
+// Collection sideband. A multi-process cluster has one Trace per OS process,
+// each on its own clock, each invisible to the others — so the per-round
+// breakdowns the analyzer produces for in-process runs simply don't exist
+// for the deployment mode the TCP transport was built for. The sideband
+// fixes that: every process runs a Shipper that drains its Trace
+// incrementally (ring cursors, so a flush only carries what's new) to a
+// Collector — embedded in the host-0 process or standalone behind
+// `gluon-trace -serve` — over a dedicated length-prefixed TCP stream,
+// separate from the substrate's data plane so observability never competes
+// with sync traffic for a transport mailbox.
+//
+// Wire format (DESIGN.md §4.4): every frame is
+//
+//	[4B little-endian length n] [1B type] [n-1 bytes payload]
+//
+// with types
+//
+//	sbPing  (2): 8B LE t0, client clock — clock probe request
+//	sbPong  (3): 24B LE t0,t1,t2 — t0 echoed; t1 recv, t2 send on collector clock
+//	sbHello (1): JSON shipperHello — label + the client's measured ClockInfo
+//	sbBatch (4): JSON HostBatch — one host's new events since the last flush
+//	sbStats (5): JSON statsFrame — LiveStats rollup + per-host heartbeats
+//	sbBye   (6): empty — orderly end of session
+//
+// A session is: pings (clock probes, answered statelessly), hello, then any
+// interleaving of batch/stats frames, then bye. The client measures the
+// collector-minus-client clock offset from the minimum-RTT probe (clock.go)
+// and declares it in the hello; the collector rebases that session's event
+// timestamps and heartbeats by the declared offset when merging, so spans
+// from different processes land on one time axis within ±uncertainty.
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+const (
+	sbHello byte = 1
+	sbPing  byte = 2
+	sbPong  byte = 3
+	sbBatch byte = 4
+	sbStats byte = 5
+	sbBye   byte = 6
+)
+
+// maxSidebandFrame bounds a single frame; a flush larger than this is split
+// into per-host batches well below it, so the limit only rejects corruption.
+const maxSidebandFrame = 256 << 20
+
+// writeFrame writes one [len][type][payload] frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, returning its type and payload.
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxSidebandFrame {
+		return 0, nil, fmt.Errorf("trace: sideband frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, err
+	}
+	return body[0], body[1:], nil
+}
+
+// shipperHello opens a session after the clock probes.
+type shipperHello struct {
+	Label string    `json:"label,omitempty"`
+	Clock ClockInfo `json:"clock"`
+}
+
+// statsFrame is the periodic rollup a shipper sends alongside event batches.
+type statsFrame struct {
+	Stats      LiveStats   `json:"stats"`
+	Heartbeats []Heartbeat `json:"heartbeats,omitempty"`
+}
+
+// ShipperConfig parameterizes StartShipper.
+type ShipperConfig struct {
+	// Addr is the collector's TCP address.
+	Addr string
+	// Trace is the local session to drain. Must be non-nil.
+	Trace *Trace
+	// Interval between incremental flushes (default 500ms).
+	Interval time.Duration
+	// Probes is the number of clock-offset ping-pongs (default 8).
+	Probes int
+	// DialTimeout bounds the initial connect (default 5s).
+	DialTimeout time.Duration
+}
+
+// Shipper streams one process's Trace to a collector: clock handshake and
+// hello at start, an incremental flush every Interval, and a final drain plus
+// bye on Close.
+type Shipper struct {
+	tr    *Trace
+	conn  net.Conn
+	clock ClockInfo
+
+	cur  Cursor
+	stop chan struct{}
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// StartShipper dials the collector, runs the clock handshake, announces the
+// session, and begins periodic flushes. The returned Shipper must be Closed
+// to drain the tail of the trace.
+func StartShipper(cfg ShipperConfig) (*Shipper, error) {
+	if cfg.Trace == nil {
+		return nil, fmt.Errorf("trace: shipper needs a trace")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Probes <= 0 {
+		cfg.Probes = 8
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", cfg.Addr, cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("trace: dialing collector %s: %w", cfg.Addr, err)
+	}
+	s := &Shipper{tr: cfg.Trace, conn: conn, stop: make(chan struct{}), done: make(chan struct{})}
+	clock, err := EstimateOffset(cfg.Probes, func() (t0, t1, t2, t3 int64, err error) {
+		var ping [8]byte
+		t0 = s.tr.Now()
+		binary.LittleEndian.PutUint64(ping[:], uint64(t0))
+		if err = writeFrame(conn, sbPing, ping[:]); err != nil {
+			return
+		}
+		typ, body, rerr := readFrame(conn)
+		t3 = s.tr.Now()
+		if rerr != nil {
+			err = rerr
+			return
+		}
+		if typ != sbPong || len(body) != 24 {
+			err = fmt.Errorf("trace: bad pong frame (type %d, %d bytes)", typ, len(body))
+			return
+		}
+		if echo := int64(binary.LittleEndian.Uint64(body[0:8])); echo != t0 {
+			err = fmt.Errorf("trace: pong echoes t0=%d, want %d", echo, t0)
+			return
+		}
+		t1 = int64(binary.LittleEndian.Uint64(body[8:16]))
+		t2 = int64(binary.LittleEndian.Uint64(body[16:24]))
+		return
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.clock = clock
+	hello, err := json.Marshal(shipperHello{Label: cfg.Trace.Label(), Clock: clock})
+	if err == nil {
+		err = writeFrame(conn, sbHello, hello)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("trace: shipper hello: %w", err)
+	}
+	go s.run(cfg.Interval)
+	return s, nil
+}
+
+// Clock returns the measured collector-minus-local clock offset.
+func (s *Shipper) Clock() ClockInfo { return s.clock }
+
+func (s *Shipper) run(interval time.Duration) {
+	defer close(s.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			if err := s.flush(); err != nil {
+				s.setErr(err)
+				return
+			}
+		}
+	}
+}
+
+// flush ships everything emitted since the previous flush plus a fresh
+// rollup/heartbeat frame.
+func (s *Shipper) flush() error {
+	for _, b := range s.tr.SnapshotNew(&s.cur) {
+		body, err := json.Marshal(&b)
+		if err != nil {
+			return err
+		}
+		if err := writeFrame(s.conn, sbBatch, body); err != nil {
+			return err
+		}
+	}
+	body, err := json.Marshal(&statsFrame{Stats: s.tr.Live(), Heartbeats: s.tr.Heartbeats()})
+	if err != nil {
+		return err
+	}
+	return writeFrame(s.conn, sbStats, body)
+}
+
+func (s *Shipper) setErr(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+}
+
+// Err returns the first flush error, if any.
+func (s *Shipper) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close stops the flush loop, drains the trace tail, sends bye, and closes
+// the connection. It returns the first error the session hit.
+func (s *Shipper) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	<-s.done
+	if s.Err() == nil {
+		if err := s.flush(); err != nil {
+			s.setErr(err)
+		} else if err := writeFrame(s.conn, sbBye, nil); err != nil {
+			s.setErr(err)
+		}
+	}
+	if err := s.conn.Close(); err != nil && s.Err() == nil {
+		s.setErr(err)
+	}
+	return s.Err()
+}
+
+// Collector accepts sideband sessions and accumulates their events,
+// rollups, and heartbeats into one cluster-wide view. A process that also
+// records locally (the embedded host-0 collector) registers its own Trace
+// with SetLocal; local events need no clock correction because the collector
+// answers probes on that same session clock.
+type Collector struct {
+	ln    net.Listener
+	local *Trace
+	epoch time.Time // probe clock when no local trace is set
+
+	wg sync.WaitGroup
+
+	mu        sync.Mutex
+	events    []Event
+	clocks    map[int32]ClockInfo // by host, offset applied at merge
+	stats     map[string]LiveStats
+	health    *Health
+	label     string
+	missed    uint64
+	sessions  int
+	completed int
+	errs      []error
+}
+
+// NewCollector creates a collector that is not yet listening; combine with
+// Serve, or use ListenAndCollect.
+func NewCollector() *Collector {
+	c := &Collector{
+		epoch:  time.Now(),
+		clocks: make(map[int32]ClockInfo),
+		stats:  make(map[string]LiveStats),
+	}
+	c.health = NewHealth(c.now)
+	return c
+}
+
+// ListenAndCollect starts a collector on addr (e.g. ":9123" or
+// "127.0.0.1:0") and begins accepting sessions in the background.
+func ListenAndCollect(addr string) (*Collector, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: collector listen %s: %w", addr, err)
+	}
+	c := NewCollector()
+	c.ln = ln
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.Serve(ln)
+	}()
+	return c, nil
+}
+
+// SetLocal registers the collector process's own Trace: its events join the
+// merge uncorrected and its clock becomes the reference the probes answer
+// with.
+func (c *Collector) SetLocal(tr *Trace) {
+	c.mu.Lock()
+	c.local = tr
+	if tr != nil && c.label == "" {
+		c.label = tr.Label()
+	}
+	c.mu.Unlock()
+}
+
+// now is the collector's reference clock: the local trace's session clock
+// when one is registered, its own epoch otherwise.
+func (c *Collector) now() int64 {
+	c.mu.Lock()
+	tr := c.local
+	c.mu.Unlock()
+	if tr != nil {
+		return tr.Now()
+	}
+	return int64(time.Since(c.epoch))
+}
+
+// Addr returns the listening address ("" before Serve/ListenAndCollect).
+func (c *Collector) Addr() string {
+	c.mu.Lock()
+	ln := c.ln
+	c.mu.Unlock()
+	if ln == nil {
+		return ""
+	}
+	return ln.Addr().String()
+}
+
+// Serve accepts sessions until the listener is closed.
+func (c *Collector) Serve(ln net.Listener) {
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		c.mu.Lock()
+		c.sessions++
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.serveSession(conn)
+		}()
+	}
+}
+
+// serveSession runs one shipper's session to completion.
+func (c *Collector) serveSession(conn net.Conn) {
+	defer conn.Close()
+	var clock ClockInfo
+	haveClock := false
+	sawBye := false
+	for {
+		typ, body, err := readFrame(conn)
+		if err != nil {
+			if !sawBye && err != io.EOF {
+				c.addErr(fmt.Errorf("trace: sideband session %s: %w", conn.RemoteAddr(), err))
+			}
+			break
+		}
+		switch typ {
+		case sbPing:
+			if len(body) != 8 {
+				c.addErr(fmt.Errorf("trace: bad ping frame (%d bytes)", len(body)))
+				return
+			}
+			t1 := c.now()
+			var pong [24]byte
+			copy(pong[0:8], body)
+			binary.LittleEndian.PutUint64(pong[8:16], uint64(t1))
+			binary.LittleEndian.PutUint64(pong[16:24], uint64(c.now()))
+			if err := writeFrame(conn, sbPong, pong[:]); err != nil {
+				c.addErr(err)
+				return
+			}
+		case sbHello:
+			var h shipperHello
+			if err := json.Unmarshal(body, &h); err != nil {
+				c.addErr(fmt.Errorf("trace: bad hello: %w", err))
+				return
+			}
+			// The client measured collector-minus-client; adding that offset
+			// to client timestamps rebases them onto the collector clock.
+			clock, haveClock = h.Clock, true
+			c.mu.Lock()
+			if c.label == "" {
+				c.label = h.Label
+			}
+			c.mu.Unlock()
+		case sbBatch:
+			var b HostBatch
+			if err := json.Unmarshal(body, &b); err != nil {
+				c.addErr(fmt.Errorf("trace: bad batch: %w", err))
+				return
+			}
+			c.mu.Lock()
+			c.events = append(c.events, b.Events...)
+			c.missed += b.Missed
+			if haveClock {
+				ci := clock
+				ci.Host = b.Host
+				c.clocks[b.Host] = ci
+			}
+			c.mu.Unlock()
+		case sbStats:
+			var f statsFrame
+			if err := json.Unmarshal(body, &f); err != nil {
+				c.addErr(fmt.Errorf("trace: bad stats: %w", err))
+				return
+			}
+			key := conn.RemoteAddr().String()
+			c.mu.Lock()
+			c.stats[key] = f.Stats
+			c.mu.Unlock()
+			for _, hb := range f.Heartbeats {
+				if haveClock {
+					hb.BeatNs += clock.OffsetNs
+					if ci, ok := c.clocks[hb.Host]; !ok || ci.Samples == 0 {
+						ci = clock
+						ci.Host = hb.Host
+						c.mu.Lock()
+						c.clocks[hb.Host] = ci
+						c.mu.Unlock()
+					}
+				}
+				c.health.Update(hb)
+			}
+		case sbBye:
+			sawBye = true
+			c.mu.Lock()
+			c.completed++
+			c.mu.Unlock()
+			return
+		default:
+			c.addErr(fmt.Errorf("trace: unknown sideband frame type %d", typ))
+			return
+		}
+	}
+}
+
+func (c *Collector) addErr(err error) {
+	c.mu.Lock()
+	c.errs = append(c.errs, err)
+	c.mu.Unlock()
+}
+
+// Errs returns the session errors observed so far.
+func (c *Collector) Errs() []error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]error(nil), c.errs...)
+}
+
+// Sessions returns (accepted, cleanly completed) session counts.
+func (c *Collector) Sessions() (accepted, completed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessions, c.completed
+}
+
+// Health returns the cluster heartbeat table fed by shipped stats frames
+// (remote hosts only; register local hosts' heartbeats separately if the
+// collector process also runs hosts).
+func (c *Collector) Health() *Health { return c.health }
+
+// Close stops accepting and waits for in-flight sessions to finish. Call
+// after the shippers have Closed (each Close drains and says bye).
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	ln := c.ln
+	c.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+// Merged returns the cluster-wide timeline: local events (if a local trace
+// is registered) plus every shipped batch, remote timestamps rebased by the
+// declared per-session clock offsets, sorted on the collector time axis.
+// Meta carries the label, the cluster-wide dropped/missed total, and the
+// per-host clock table.
+func (c *Collector) Merged() ([]Event, Meta) {
+	c.mu.Lock()
+	local := c.local
+	c.mu.Unlock()
+	var localEvents []Event
+	var localDropped uint64
+	if local != nil {
+		localEvents, localDropped = local.Snapshot()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	events := make([]Event, 0, len(localEvents)+len(c.events))
+	events = append(events, c.events...)
+	offsets := make(map[int32]int64, len(c.clocks))
+	clocks := make([]ClockInfo, 0, len(c.clocks))
+	for h, ci := range c.clocks {
+		offsets[h] = ci.OffsetNs
+		clocks = append(clocks, ci)
+	}
+	AlignEvents(events, offsets)
+	// Local events are already on the reference axis; merge after alignment.
+	events = append(events, localEvents...)
+	sortEventsByStart(events)
+	for i := 1; i < len(clocks); i++ {
+		for j := i; j > 0 && clocks[j-1].Host > clocks[j].Host; j-- {
+			clocks[j-1], clocks[j] = clocks[j], clocks[j-1]
+		}
+	}
+	dropped := localDropped + c.missed
+	for _, st := range c.stats {
+		dropped += st.Dropped
+	}
+	return events, Meta{Label: c.label, Dropped: dropped, Clocks: clocks}
+}
+
+// WriteFile exports the merged cluster timeline, format by extension as in
+// Trace.WriteFile.
+func (c *Collector) WriteFile(path string) error {
+	events, meta := c.Merged()
+	return WriteFileMeta(path, meta, events)
+}

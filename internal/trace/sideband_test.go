@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSidebandRoundTrip ships a two-host trace to a collector and checks the
+// merged timeline carries every event, the exact byte tags, the declared
+// clock table, and the shipped heartbeats.
+func TestSidebandRoundTrip(t *testing.T) {
+	col, err := ListenAndCollect("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	tr := New(Config{Capacity: 1 << 10, Label: "sideband-rt"})
+	for host := 0; host < 2; host++ {
+		r := tr.Recorder(host)
+		r.SetRound(0)
+		r.Emit(Event{Start: r.Now(), Dur: 10, Phase: PhaseEncode, Peer: int32(1 - host), Value: 100, Meta: 7, Mode: 1})
+	}
+	sh, err := StartShipper(ShipperConfig{Addr: col.Addr(), Trace: tr, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.Clock().Samples == 0 {
+		t.Fatal("shipper measured no clock samples")
+	}
+	// Emit more after the handshake so the periodic flush path runs too.
+	for host := 0; host < 2; host++ {
+		r := tr.Recorder(host)
+		r.SetRound(1)
+		r.SetLivePhase(PhaseCompute)
+		r.Emit(Event{Start: r.Now(), Dur: 10, Phase: PhaseEncode, Peer: int32(1 - host), Value: 50, GID: 3, Mode: 3})
+	}
+	time.Sleep(25 * time.Millisecond) // let at least one ticker flush happen
+	if err := sh.Close(); err != nil {
+		t.Fatalf("shipper close: %v", err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if errs := col.Errs(); len(errs) != 0 {
+		t.Fatalf("collector errors: %v", errs)
+	}
+	if acc, done := col.Sessions(); acc != 1 || done != 1 {
+		t.Fatalf("sessions = (%d accepted, %d completed), want (1, 1)", acc, done)
+	}
+
+	events, meta := col.Merged()
+	if len(events) != 4 {
+		t.Fatalf("merged %d events, want 4", len(events))
+	}
+	var value, metaB, gid uint64
+	for _, e := range events {
+		value, metaB, gid = value+e.Value, metaB+e.Meta, gid+e.GID
+	}
+	if value != 300 || metaB != 14 || gid != 6 {
+		t.Fatalf("merged byte tags = %d/%d/%d, want 300/14/6", value, metaB, gid)
+	}
+	if meta.Label != "sideband-rt" {
+		t.Fatalf("merged label = %q", meta.Label)
+	}
+	if len(meta.Clocks) != 2 {
+		t.Fatalf("clock table has %d hosts, want 2: %+v", len(meta.Clocks), meta.Clocks)
+	}
+	for _, ci := range meta.Clocks {
+		if ci.Samples == 0 {
+			t.Fatalf("clock entry without samples: %+v", ci)
+		}
+	}
+	// Heartbeats made it into the collector's health table.
+	hbs := col.Health().Snapshot()
+	if len(hbs) != 2 {
+		t.Fatalf("health table has %d hosts, want 2", len(hbs))
+	}
+	for _, hb := range hbs {
+		if hb.Round != 1 {
+			t.Fatalf("host %d heartbeat round = %d, want 1", hb.Host, hb.Round)
+		}
+	}
+	// Ordering holds on the merged axis.
+	for i := 1; i < len(events); i++ {
+		if events[i].Start < events[i-1].Start {
+			t.Fatal("merged events out of order")
+		}
+	}
+}
+
+// TestSidebandAppliesOffsets: the merge must rebase remote timestamps by
+// exactly the declared offset.
+func TestSidebandAppliesOffsets(t *testing.T) {
+	col, err := ListenAndCollect("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	tr := New(Config{Capacity: 64})
+	tr.Recorder(0).Emit(Event{Start: 1000, Dur: 1, Phase: PhaseCompute})
+	sh, err := StartShipper(ShipperConfig{Addr: col.Addr(), Trace: tr, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Close(); err != nil {
+		t.Fatal(err)
+	}
+	col.Close()
+	events, meta := col.Merged()
+	if len(events) != 1 || len(meta.Clocks) != 1 {
+		t.Fatalf("got %d events, %d clocks", len(events), len(meta.Clocks))
+	}
+	if want := 1000 + meta.Clocks[0].OffsetNs; events[0].Start != want {
+		t.Fatalf("merged start = %d, want %d (1000 + declared offset %d)",
+			events[0].Start, want, meta.Clocks[0].OffsetNs)
+	}
+}
+
+// TestSidebandLocalTrace: the embedded-collector mode merges the collector
+// process's own events without any clock correction.
+func TestSidebandLocalTrace(t *testing.T) {
+	col, err := ListenAndCollect("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	local := New(Config{Capacity: 64, Label: "local"})
+	col.SetLocal(local)
+	local.Recorder(0).Emit(Event{Start: 500, Dur: 1, Phase: PhaseCompute})
+
+	remote := New(Config{Capacity: 64})
+	remote.Recorder(1).Emit(Event{Start: 600, Dur: 1, Phase: PhaseCompute})
+	sh, err := StartShipper(ShipperConfig{Addr: col.Addr(), Trace: remote, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Close()
+	col.Close()
+	events, meta := col.Merged()
+	if len(events) != 2 {
+		t.Fatalf("merged %d events, want 2", len(events))
+	}
+	var sawLocal bool
+	for _, e := range events {
+		if e.Host == 0 {
+			sawLocal = true
+			if e.Start != 500 {
+				t.Fatalf("local event rebased to %d; must stay on the reference axis", e.Start)
+			}
+		}
+	}
+	if !sawLocal {
+		t.Fatal("local event missing from merge")
+	}
+	if meta.Label != "local" {
+		t.Fatalf("label = %q, want the local trace's", meta.Label)
+	}
+}
+
+func TestSidebandFraming(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, sbBatch, []byte(`{"host":3}`)); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := readFrame(&buf)
+	if err != nil || typ != sbBatch || string(body) != `{"host":3}` {
+		t.Fatalf("round trip = (%d, %q, %v)", typ, body, err)
+	}
+	// Zero-length and oversized frames are rejected, not allocated.
+	if _, _, err := readFrame(strings.NewReader("\x00\x00\x00\x00")); err == nil {
+		t.Fatal("zero-length frame should error")
+	}
+	if _, _, err := readFrame(strings.NewReader("\xff\xff\xff\xff")); err == nil {
+		t.Fatal("oversized frame should error")
+	}
+	// Truncated payload errors instead of hanging.
+	if _, _, err := readFrame(strings.NewReader("\x05\x00\x00\x00\x04ab")); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+}
+
+// TestShipperMissedCounts: a ring smaller than the emission burst reports
+// the overwritten prefix as missed, which the collector folds into dropped.
+func TestShipperMissedCounts(t *testing.T) {
+	col, err := ListenAndCollect("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	tr := New(Config{Capacity: 8})
+	r := tr.Recorder(0)
+	for i := 0; i < 20; i++ { // 12 events overwritten before the first drain
+		r.Emit(Event{Start: int64(i), Dur: 1, Phase: PhaseCompute})
+	}
+	sh, err := StartShipper(ShipperConfig{Addr: col.Addr(), Trace: tr, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.Close()
+	col.Close()
+	events, meta := col.Merged()
+	if len(events) != 8 {
+		t.Fatalf("merged %d events, want the 8 ring survivors", len(events))
+	}
+	// Dropped counts the wrap both via batch.Missed and the shipped
+	// LiveStats rollup; it must at least cover the 12 lost events.
+	if meta.Dropped < 12 {
+		t.Fatalf("meta.Dropped = %d, want >= 12", meta.Dropped)
+	}
+}

@@ -229,6 +229,7 @@ func (t *Trace) Recorder(host int) *Recorder {
 	if t.recs[host] == nil {
 		t.recs[host] = &Recorder{t: t, host: int32(host), buf: make([]Event, 0, t.cfg.Capacity)}
 		t.recs[host].round.Store(-1)
+		t.recs[host].phase.Store(int32(NumPhases))
 	}
 	return t.recs[host]
 }
@@ -281,15 +282,32 @@ func (t *Trace) Dropped() uint64 {
 // and its sync worker goroutines share. The nil *Recorder is valid and
 // permanently disabled, so instrumented code never needs a wiring check
 // beyond Enabled().
+//
+// Beyond the ring, a Recorder keeps a few liveness atomics — the current BSP
+// round, the phase the host is executing right now, cumulative encode bytes,
+// and the time of the last touch — which together form the compact heartbeat
+// the cluster watchdog and the sideband gossip read without locking the ring.
 type Recorder struct {
 	t     *Trace
 	host  int32
 	round atomic.Int32
+	phase atomic.Int32  // live phase (-1 = idle/unknown), see SetLivePhase
+	bytes atomic.Uint64 // cumulative encode payload bytes (heartbeat counter)
+	beat  atomic.Int64  // session-clock ns of the last liveness touch
 
 	mu      sync.Mutex
 	buf     []Event // ring storage; len grows to cap, then next wraps
 	next    int     // overwrite cursor once len(buf) == cap(buf)
+	seq     uint64  // total events ever emitted (ring-independent cursor)
 	dropped uint64
+}
+
+// Host returns the rank this recorder stamps onto events.
+func (r *Recorder) Host() int32 {
+	if r == nil {
+		return -1
+	}
+	return r.host
 }
 
 // Enabled reports whether emitting is worthwhile. Instrumentation sites
@@ -309,7 +327,53 @@ func (r *Recorder) Now() int64 {
 func (r *Recorder) SetRound(round int32) {
 	if r != nil {
 		r.round.Store(round)
+		r.beat.Store(int64(time.Since(r.t.epoch)))
 	}
+}
+
+// Round returns the currently stamped BSP round.
+func (r *Recorder) Round() int32 {
+	if r == nil {
+		return -1
+	}
+	return r.round.Load()
+}
+
+// SetLivePhase publishes the phase the host is executing right now — the
+// heartbeat the straggler watchdog reads. It is a nil check plus two atomic
+// stores, alloc-free, so phase-boundary sites can call it unguarded.
+func (r *Recorder) SetLivePhase(p Phase) {
+	if r != nil {
+		r.phase.Store(int32(p))
+		r.beat.Store(int64(time.Since(r.t.epoch)))
+	}
+}
+
+// LivePhase returns the last published live phase (NumPhases when the host
+// has not published one yet).
+func (r *Recorder) LivePhase() Phase {
+	if r == nil {
+		return NumPhases
+	}
+	return Phase(r.phase.Load())
+}
+
+// LiveBytes returns the cumulative encode payload bytes this host has
+// emitted — the heartbeat's progress counter.
+func (r *Recorder) LiveBytes() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.bytes.Load()
+}
+
+// LastBeat returns the session-clock time of the host's last liveness touch
+// (SetRound, SetLivePhase, or Emit).
+func (r *Recorder) LastBeat() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.beat.Load()
 }
 
 // Emit records one event, stamping Host and Round. When the session is
@@ -332,7 +396,9 @@ func (r *Recorder) Emit(e Event) {
 		}
 		r.dropped++
 	}
+	r.seq++
 	r.mu.Unlock()
+	r.beat.Store(e.Start + e.Dur)
 
 	t := r.t
 	t.events.Add(1)
@@ -342,6 +408,7 @@ func (r *Recorder) Emit(e Event) {
 	// deltas, so the live totals match the run's volume accounting. Other
 	// phases reuse Value for wire lengths, which would double-count.
 	if e.Phase == PhaseEncode {
+		r.bytes.Add(e.Value + e.Meta + e.GID)
 		t.value.Add(e.Value)
 		t.meta.Add(e.Meta)
 		t.gid.Add(e.GID)
@@ -370,6 +437,112 @@ func (r *Recorder) snapshot() ([]Event, uint64) {
 		out = append(out, r.buf...)
 	}
 	return out, r.dropped
+}
+
+// snapshotSince copies the events emitted after sequence number since (the
+// value a previous call returned), in emission order. When the ring has
+// wrapped past the cursor, the overwritten prefix is unrecoverable and is
+// reported in missed. It is the incremental drain behind the sideband's
+// periodic flushes.
+func (r *Recorder) snapshotSince(since uint64) (out []Event, newSeq, missed uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if since > r.seq {
+		since = r.seq // cursor from another session; resynchronize
+	}
+	oldest := r.seq - uint64(len(r.buf))
+	if since < oldest {
+		missed = oldest - since
+		since = oldest
+	}
+	n := int(r.seq - since)
+	if n == 0 {
+		return nil, r.seq, missed
+	}
+	out = make([]Event, 0, n)
+	// Ring layout: emission order is buf[next:] ++ buf[:next] once wrapped,
+	// plain buf before. The newest n events are the tail of that order.
+	if r.dropped > 0 {
+		start := r.next - n
+		if start < 0 {
+			out = append(out, r.buf[len(r.buf)+start:]...)
+			out = append(out, r.buf[:r.next]...)
+		} else {
+			out = append(out, r.buf[start:r.next]...)
+		}
+	} else {
+		out = append(out, r.buf[len(r.buf)-n:]...)
+	}
+	return out, r.seq, missed
+}
+
+// Cursor tracks how far a sideband shipper has drained each host's ring.
+// The zero value starts from the beginning of the session.
+type Cursor struct {
+	seq map[int32]uint64
+}
+
+// HostBatch is one host's increment between two SnapshotNew calls.
+type HostBatch struct {
+	Host   int32   `json:"host"`
+	Missed uint64  `json:"missed,omitempty"` // events lost to ring wrap since the last drain
+	Events []Event `json:"events"`
+}
+
+// SnapshotNew drains the events emitted since the cursor's last position,
+// one batch per host, and advances the cursor. Hosts with no new events are
+// omitted. Safe concurrently with Emit; events emitted during the call land
+// in this batch or the next.
+func (t *Trace) SnapshotNew(c *Cursor) []HostBatch {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := append([]*Recorder(nil), t.recs...)
+	t.mu.Unlock()
+	if c.seq == nil {
+		c.seq = make(map[int32]uint64)
+	}
+	var out []HostBatch
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		ev, seq, missed := r.snapshotSince(c.seq[r.host])
+		c.seq[r.host] = seq
+		if len(ev) > 0 || missed > 0 {
+			out = append(out, HostBatch{Host: r.host, Events: ev, Missed: missed})
+		}
+	}
+	return out
+}
+
+// Now returns nanoseconds since the session epoch on the monotonic clock —
+// the time base every recorder of this session stamps events with.
+func (t *Trace) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.epoch))
+}
+
+// Heartbeats snapshots every host's liveness atomics — the local view the
+// watchdog and the sideband gossip publish.
+func (t *Trace) Heartbeats() []Heartbeat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	recs := append([]*Recorder(nil), t.recs...)
+	t.mu.Unlock()
+	out := make([]Heartbeat, 0, len(recs))
+	for _, r := range recs {
+		if r == nil {
+			continue
+		}
+		out = append(out, HeartbeatOf(r))
+	}
+	return out
 }
 
 // PhaseLive is one phase's live rollup.

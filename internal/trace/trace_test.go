@@ -295,6 +295,13 @@ func TestReadEventsErrors(t *testing.T) {
 	if _, _, err := ReadEvents(strings.NewReader("{not json\n")); err == nil {
 		t.Error("malformed line accepted")
 	}
+	// Valid JSON that is not a gluon export must not parse as zero events.
+	if _, _, err := ReadEvents(strings.NewReader(`{"garbage": true}`)); err == nil {
+		t.Error("foreign JSON accepted as a trace")
+	}
+	if _, _, err := ReadEvents(strings.NewReader("{\"host\":1,\"phase\":\"encode\"}\n")); err == nil {
+		t.Error("headerless JSONL accepted")
+	}
 }
 
 func TestSummarize(t *testing.T) {
@@ -378,6 +385,113 @@ func TestMetricsServer(t *testing.T) {
 			t.Errorf("GET %s: rollup wrong: %+v", path, s)
 		}
 	}
+}
+
+// TestMetricsPrometheus: /metrics content-negotiates the Prometheus text
+// exposition alongside the JSON default — via ?format= and via Accept.
+func TestMetricsPrometheus(t *testing.T) {
+	tr := New(Config{Label: "prom"})
+	tr.Recorder(0).SetRound(3)
+	tr.Recorder(0).Emit(Event{Phase: PhaseEncode, Value: 42, Meta: 7, Mode: 1, Dur: 9})
+	tr.Recorder(0).Emit(Event{Phase: PhaseFault, Detail: "boom"})
+	ms, err := ServeMetrics("127.0.0.1:0", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	get := func(path string, accept string) (string, string) {
+		req, _ := http.NewRequest("GET", "http://"+ms.Addr()+path, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	for _, req := range []struct{ path, accept string }{
+		{"/metrics?format=prometheus", ""},
+		{"/metrics", "text/plain"},
+	} {
+		body, ctype := get(req.path, req.accept)
+		if !strings.Contains(ctype, "version=0.0.4") {
+			t.Errorf("%s Accept=%q: content type %q, want Prometheus text exposition", req.path, req.accept, ctype)
+		}
+		for _, want := range []string{
+			`gluon_sync_bytes_total{kind="value"} 42`,
+			`gluon_sync_bytes_total{kind="metadata"} 7`,
+			"gluon_round 3",
+			"gluon_sync_messages_total 1",
+			"gluon_faults_total 1",
+			"gluon_trace_dropped_total 0",
+			`gluon_encode_mode_total{mode=`,
+			"# TYPE gluon_round gauge",
+		} {
+			if !strings.Contains(body, want) {
+				t.Errorf("%s Accept=%q: missing %q in:\n%s", req.path, req.accept, want, body)
+			}
+		}
+	}
+
+	// JSON stays the default and is forceable even with a text Accept.
+	body, _ := get("/metrics?format=json", "text/plain")
+	var s LiveStats
+	if err := json.Unmarshal([]byte(body), &s); err != nil {
+		t.Fatalf("?format=json: bad JSON: %v", err)
+	}
+	if s.ValueBytes != 42 {
+		t.Errorf("?format=json rollup wrong: %+v", s)
+	}
+}
+
+// TestMetricsPprof: the profiling handlers ride the metrics mux so CPU/heap
+// capture is available wherever metrics are served.
+func TestMetricsPprof(t *testing.T) {
+	tr := New(Config{})
+	ms, err := ServeMetrics("127.0.0.1:0", tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap?debug=1", "/debug/pprof/goroutine?debug=1"} {
+		resp, err := http.Get("http://" + ms.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+	}
+}
+
+// TestLabelPhase: the phase-label gate is allocation-free when off (the
+// default) and round-trips goroutine labels when on.
+func TestLabelPhase(t *testing.T) {
+	if PhaseLabelsEnabled() {
+		t.Fatal("phase labels enabled by default")
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		done := LabelPhase(PhaseEncode)
+		done()
+	}); allocs != 0 {
+		t.Errorf("disabled LabelPhase allocates %.0f/op, want 0", allocs)
+	}
+	SetPhaseLabels(true)
+	defer SetPhaseLabels(false)
+	if !PhaseLabelsEnabled() {
+		t.Error("SetPhaseLabels(true) not visible")
+	}
+	// Goroutine label sets are only observable through profiles; assert the
+	// enabled path applies and restores without panicking.
+	done := LabelPhase(PhaseFold)
+	done()
 }
 
 func TestStartSummary(t *testing.T) {

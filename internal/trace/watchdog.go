@@ -1,0 +1,383 @@
+package trace
+
+// Straggler/stall watchdog. BSP clusters fail in two characteristic ways a
+// flat error path never explains: a straggler host stretches every round
+// (the skew behind the paper's CVC-vs-OEC analysis), or a host stops making
+// progress entirely and the cluster hangs at the next rendezvous. The
+// watchdog turns both into a named diagnosis: hosts publish compact
+// heartbeats (round, live phase, byte counters) into a Health table — local
+// hosts straight from their Recorders, remote ones via transport gossip or
+// the collection sideband — and a monitor goroutine flags any round that
+// exceeds Factor× the trailing-median round time, naming the suspect host
+// and the phase it is stuck in, dumping goroutine stacks and the trace
+// tail. If the stall persists past StallTimeout the report escalates, and
+// the dsys runner feeds it into the comm.PeerError path so the cluster
+// fails loudly with the diagnosis attached instead of hanging.
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Heartbeat is one host's compact liveness record.
+type Heartbeat struct {
+	Host  int32  `json:"host"`
+	Round int32  `json:"round"`
+	Phase Phase  `json:"phase"`
+	Bytes uint64 `json:"bytes"` // cumulative encode payload bytes
+	// BeatNs is the emitter's session-clock time of its last liveness touch.
+	BeatNs int64 `json:"beat_ns"`
+	// AtNs is the observer's clock when the heartbeat was recorded locally.
+	AtNs int64 `json:"at_ns,omitempty"`
+}
+
+// HeartbeatOf reads a recorder's liveness atomics into a Heartbeat.
+func HeartbeatOf(r *Recorder) Heartbeat {
+	return Heartbeat{
+		Host:   r.Host(),
+		Round:  r.Round(),
+		Phase:  r.LivePhase(),
+		Bytes:  r.LiveBytes(),
+		BeatNs: r.LastBeat(),
+	}
+}
+
+// Health is the cluster-wide heartbeat table a watchdog monitors: one slot
+// per host, updated lock-free by whoever observes that host (the host's own
+// gossip loop, a drain loop receiving remote heartbeats, or the collector's
+// sideband sessions).
+type Health struct {
+	mu    sync.RWMutex
+	slots map[int32]Heartbeat
+	clock func() int64 // observer clock, ns
+}
+
+// NewHealth creates an empty table stamping receipt times from clock (nil
+// means a wall-clock-based monotonic source).
+func NewHealth(clock func() int64) *Health {
+	if clock == nil {
+		epoch := time.Now()
+		clock = func() int64 { return int64(time.Since(epoch)) }
+	}
+	return &Health{slots: make(map[int32]Heartbeat), clock: clock}
+}
+
+// Update records a host's latest heartbeat. Stale updates (an older round
+// than the slot already holds) are ignored so out-of-order gossip cannot
+// roll a host backwards.
+func (h *Health) Update(hb Heartbeat) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if cur, ok := h.slots[hb.Host]; ok && (hb.Round < cur.Round || (hb.Round == cur.Round && hb.BeatNs < cur.BeatNs)) {
+		return
+	}
+	hb.AtNs = h.clock()
+	h.slots[hb.Host] = hb
+}
+
+// Snapshot returns the current table, ordered by host.
+func (h *Health) Snapshot() []Heartbeat {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	out := make([]Heartbeat, 0, len(h.slots))
+	for _, hb := range h.slots {
+		out = append(out, hb)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; tables are tiny
+		for j := i; j > 0 && out[j-1].Host > out[j].Host; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Now returns the table's observer clock reading.
+func (h *Health) Now() int64 { return h.clock() }
+
+// WatchdogConfig tunes stall detection. The zero value gets the defaults
+// noted per field.
+type WatchdogConfig struct {
+	// Factor flags a round running longer than Factor× the trailing-median
+	// round time (default 8).
+	Factor float64
+	// MinRound is the floor below which a round is never flagged, and the
+	// threshold used before any round has completed (default 2s).
+	MinRound time.Duration
+	// Poll is the monitor's sampling interval (default 50ms).
+	Poll time.Duration
+	// StallTimeout escalates a flagged stall that persists this long past
+	// the flag (Escalated=true on the report, which the dsys runner turns
+	// into a PeerError). Zero never escalates — warn-only.
+	StallTimeout time.Duration
+	// Window is how many completed round durations feed the trailing median
+	// (default 32).
+	Window int
+	// TraceTail is how many merged trace events the report carries
+	// (default 64; 0 keeps the default, negative disables the tail).
+	TraceTail int
+	// OnReport receives every stall report: once when a round is flagged and
+	// once more with Escalated=true if it persists past StallTimeout. Called
+	// from the monitor goroutine.
+	OnReport func(*StallReport)
+	// Log, when non-nil, gets a one-paragraph rendering of every report.
+	Log io.Writer
+}
+
+func (c WatchdogConfig) withDefaults() WatchdogConfig {
+	if c.Factor <= 0 {
+		c.Factor = 8
+	}
+	if c.MinRound <= 0 {
+		c.MinRound = 2 * time.Second
+	}
+	if c.Poll <= 0 {
+		c.Poll = 50 * time.Millisecond
+	}
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.TraceTail == 0 {
+		c.TraceTail = 64
+	}
+	return c
+}
+
+// StallReport names a suspected straggler or stall.
+type StallReport struct {
+	// Round is the cluster round (minimum across hosts) that is overdue.
+	Round int32 `json:"round"`
+	// Suspect is the host the evidence points at; Phase is the live phase it
+	// was last seen executing.
+	Suspect int32 `json:"suspect"`
+	Phase   Phase `json:"phase"`
+	// Waited is how long the round has been running; Threshold what it was
+	// allowed; Median the trailing-median round time it derives from (0
+	// before any round completed).
+	Waited    time.Duration `json:"waited_ns"`
+	Threshold time.Duration `json:"threshold_ns"`
+	Median    time.Duration `json:"median_ns"`
+	// Escalated marks the second-stage report of a persisting stall.
+	Escalated bool `json:"escalated"`
+	// Heartbeats is the table the diagnosis was made from.
+	Heartbeats []Heartbeat `json:"heartbeats"`
+	// Stacks is the monitoring process's goroutine dump (includes the
+	// suspect's goroutines when it shares the process, i.e. always for
+	// in-process clusters and for self-detection in multi-process ones).
+	Stacks []byte `json:"stacks,omitempty"`
+	// TraceTail is the tail of the suspect host's recorded events at flag
+	// time, newest last — what it was doing when progress stopped.
+	TraceTail []Event `json:"trace_tail,omitempty"`
+}
+
+func (r *StallReport) String() string {
+	kind := "straggler"
+	if r.Escalated {
+		kind = "stall"
+	}
+	return fmt.Sprintf("watchdog: %s: round %d overdue (%v > %v, median %v): suspect host %d in phase %q",
+		kind, r.Round, r.Waited.Round(time.Millisecond), r.Threshold.Round(time.Millisecond),
+		r.Median.Round(time.Millisecond), r.Suspect, r.Phase)
+}
+
+// StallError is the error the runner attaches to the PeerError path when a
+// watchdog escalates: the cluster is failed deliberately, with the diagnosis
+// as the cause.
+type StallError struct {
+	Report *StallReport
+}
+
+func (e *StallError) Error() string {
+	return e.Report.String()
+}
+
+// Watchdog monitors a Health table. Create with StartWatchdog; stop with
+// Stop (idempotent, waits for the monitor goroutine).
+type Watchdog struct {
+	cfg    WatchdogConfig
+	health *Health
+	trace  *Trace // may be nil: reports then carry no trace tail
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+
+	mu      sync.Mutex
+	reports []*StallReport
+}
+
+// StartWatchdog begins monitoring health. tr, when non-nil, supplies the
+// trace tail attached to reports; it is not otherwise required.
+func StartWatchdog(tr *Trace, health *Health, cfg WatchdogConfig) *Watchdog {
+	w := &Watchdog{
+		cfg:    cfg.withDefaults(),
+		health: health,
+		trace:  tr,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	go w.run()
+	return w
+}
+
+// Stop terminates the monitor and waits for it.
+func (w *Watchdog) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Reports returns every report raised so far, in order.
+func (w *Watchdog) Reports() []*StallReport {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]*StallReport(nil), w.reports...)
+}
+
+// run is the monitor loop: track the cluster round (minimum across hosts),
+// time its advances, flag when the current round exceeds the threshold.
+func (w *Watchdog) run() {
+	defer close(w.done)
+	tick := time.NewTicker(w.cfg.Poll)
+	defer tick.Stop()
+
+	var (
+		durations  []time.Duration // completed round times, trailing window
+		curRound   = int32(-2)     // cluster round being timed; -2 = not started
+		roundStart int64           // health clock ns when curRound began
+		flagged    bool            // current round already reported
+		flaggedAt  int64           // health clock ns of the flag
+		escalated  bool
+	)
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+		}
+		hbs := w.health.Snapshot()
+		if len(hbs) == 0 {
+			continue
+		}
+		minRound := hbs[0].Round
+		for _, hb := range hbs[1:] {
+			if hb.Round < minRound {
+				minRound = hb.Round
+			}
+		}
+		if minRound < 0 {
+			continue // init/memoization; rounds have not started
+		}
+		now := w.health.Now()
+		if minRound != curRound {
+			if curRound >= 0 {
+				durations = append(durations, time.Duration(now-roundStart))
+				if len(durations) > w.cfg.Window {
+					durations = durations[len(durations)-w.cfg.Window:]
+				}
+			}
+			curRound, roundStart = minRound, now
+			flagged, escalated = false, false
+			continue
+		}
+		waited := time.Duration(now - roundStart)
+		median := medianDuration(durations)
+		threshold := time.Duration(float64(median) * w.cfg.Factor)
+		if threshold < w.cfg.MinRound {
+			threshold = w.cfg.MinRound
+		}
+		if waited <= threshold {
+			continue
+		}
+		if !flagged {
+			flagged, flaggedAt = true, now
+			w.report(curRound, waited, threshold, median, hbs, false)
+		} else if !escalated && w.cfg.StallTimeout > 0 && time.Duration(now-flaggedAt) > w.cfg.StallTimeout {
+			escalated = true
+			w.report(curRound, waited, threshold, median, hbs, true)
+		}
+	}
+}
+
+// report assembles and dispatches one StallReport.
+func (w *Watchdog) report(round int32, waited, threshold, median time.Duration, hbs []Heartbeat, escalated bool) {
+	suspect := SuspectHost(hbs)
+	r := &StallReport{
+		Round:      round,
+		Suspect:    suspect.Host,
+		Phase:      suspect.Phase,
+		Waited:     waited,
+		Threshold:  threshold,
+		Median:     median,
+		Escalated:  escalated,
+		Heartbeats: append([]Heartbeat(nil), hbs...),
+	}
+	buf := make([]byte, 1<<20)
+	r.Stacks = buf[:runtime.Stack(buf, true)]
+	if w.trace != nil && w.cfg.TraceTail > 0 {
+		events, _ := w.trace.Snapshot()
+		var tail []Event
+		for _, e := range events {
+			if e.Host == suspect.Host {
+				tail = append(tail, e)
+			}
+		}
+		if len(tail) > w.cfg.TraceTail {
+			tail = tail[len(tail)-w.cfg.TraceTail:]
+		}
+		r.TraceTail = tail
+	}
+	w.mu.Lock()
+	w.reports = append(w.reports, r)
+	w.mu.Unlock()
+	if w.cfg.Log != nil {
+		fmt.Fprintln(w.cfg.Log, r)
+	}
+	if w.cfg.OnReport != nil {
+		w.cfg.OnReport(r)
+	}
+}
+
+// SuspectHost picks the host most likely responsible for a stalled round: a
+// host blocked in recvwait or barrier is waiting on somebody else (a
+// victim), so the suspect is the host still executing — lowest round first,
+// then non-waiting phase, then the oldest liveness beat. When every host is
+// waiting (a true deadlock or a silently dead process) the oldest beat
+// decides: the host that stopped touching its heartbeat first.
+func SuspectHost(hbs []Heartbeat) Heartbeat {
+	if len(hbs) == 0 {
+		return Heartbeat{Host: -1, Phase: NumPhases}
+	}
+	waiting := func(p Phase) bool { return p == PhaseRecvWait || p == PhaseBarrier }
+	best := hbs[0]
+	for _, hb := range hbs[1:] {
+		switch {
+		case hb.Round != best.Round:
+			if hb.Round < best.Round {
+				best = hb
+			}
+		case waiting(best.Phase) != waiting(hb.Phase):
+			if waiting(best.Phase) {
+				best = hb
+			}
+		case hb.BeatNs < best.BeatNs:
+			best = hb
+		}
+	}
+	return best
+}
+
+// medianDuration returns the median of a small sample (0 when empty).
+func medianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+	return s[len(s)/2]
+}

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSuspectHost(t *testing.T) {
+	cases := []struct {
+		name string
+		hbs  []Heartbeat
+		want int32
+	}{
+		{"empty", nil, -1},
+		{
+			// Host stuck in encode while the others wait for it.
+			"waiters-are-victims",
+			[]Heartbeat{
+				{Host: 0, Round: 6, Phase: PhaseRecvWait},
+				{Host: 1, Round: 6, Phase: PhaseEncode},
+				{Host: 2, Round: 6, Phase: PhaseBarrier},
+			},
+			1,
+		},
+		{
+			// A host a round behind is the straggler even if it is waiting.
+			"min-round-first",
+			[]Heartbeat{
+				{Host: 0, Round: 7, Phase: PhaseRecvWait},
+				{Host: 1, Round: 6, Phase: PhaseRecvWait},
+				{Host: 2, Round: 7, Phase: PhaseCompute},
+			},
+			1,
+		},
+		{
+			// Everyone waiting: the host that went quiet first.
+			"oldest-beat-breaks-ties",
+			[]Heartbeat{
+				{Host: 0, Round: 3, Phase: PhaseRecvWait, BeatNs: 900},
+				{Host: 1, Round: 3, Phase: PhaseBarrier, BeatNs: 100},
+				{Host: 2, Round: 3, Phase: PhaseRecvWait, BeatNs: 500},
+			},
+			1,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := SuspectHost(c.hbs).Host; got != c.want {
+				t.Fatalf("suspect = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestHealthStaleUpdatesIgnored(t *testing.T) {
+	h := NewHealth(nil)
+	h.Update(Heartbeat{Host: 0, Round: 5, Phase: PhaseCompute, BeatNs: 100})
+	h.Update(Heartbeat{Host: 0, Round: 3, Phase: PhaseEncode, BeatNs: 200}) // out-of-order gossip
+	snap := h.Snapshot()
+	if len(snap) != 1 || snap[0].Round != 5 {
+		t.Fatalf("stale round must not roll the slot back: %+v", snap)
+	}
+	h.Update(Heartbeat{Host: 0, Round: 5, Phase: PhaseRecvWait, BeatNs: 300})
+	if got := h.Snapshot()[0].Phase; got != PhaseRecvWait {
+		t.Fatalf("same-round newer beat should update, phase = %v", got)
+	}
+}
+
+// TestWatchdogFlagsStall drives a synthetic cluster: fast rounds build the
+// trailing median, then host 1 stops in encode while the others park in
+// recvwait. The watchdog must name host 1 and its phase, then escalate.
+func TestWatchdogFlagsStall(t *testing.T) {
+	var clock atomic.Int64
+	h := NewHealth(func() int64 { return clock.Load() })
+	reports := make(chan *StallReport, 4)
+	w := StartWatchdog(nil, h, WatchdogConfig{
+		Factor:       4,
+		MinRound:     10 * time.Millisecond,
+		Poll:         time.Millisecond,
+		StallTimeout: 20 * time.Millisecond,
+		OnReport:     func(r *StallReport) { reports <- r },
+	})
+	defer w.Stop()
+
+	beat := func(host, round int32, p Phase) {
+		h.Update(Heartbeat{Host: host, Round: round, Phase: p, BeatNs: clock.Load()})
+	}
+	// Rounds 0..4 complete briskly (2ms of synthetic time each).
+	for round := int32(0); round < 5; round++ {
+		for host := int32(0); host < 3; host++ {
+			beat(host, round, PhaseCompute)
+		}
+		for i := 0; i < 2; i++ {
+			clock.Add(int64(time.Millisecond))
+			time.Sleep(2 * time.Millisecond) // let the poller observe the round
+		}
+	}
+	// Round 5: host 1 wedges in encode, hosts 0 and 2 wait on it.
+	beat(0, 5, PhaseRecvWait)
+	beat(1, 5, PhaseEncode)
+	beat(2, 5, PhaseRecvWait)
+	deadline := time.After(5 * time.Second)
+	for i := 0; ; i++ {
+		clock.Add(int64(5 * time.Millisecond))
+		select {
+		case r := <-reports:
+			if r.Suspect != 1 || r.Phase != PhaseEncode {
+				t.Fatalf("report names host %d phase %v, want host 1 phase encode", r.Suspect, r.Phase)
+			}
+			if r.Round != 5 {
+				t.Fatalf("report round = %d, want 5", r.Round)
+			}
+			if r.Escalated {
+				t.Fatal("first report must not be escalated")
+			}
+			if len(r.Stacks) == 0 || !strings.Contains(string(r.Stacks), "goroutine") {
+				t.Fatal("report should carry a goroutine dump")
+			}
+			if r.Median <= 0 || r.Threshold < 4*r.Median {
+				t.Fatalf("threshold %v should derive from median %v", r.Threshold, r.Median)
+			}
+			goto escalation
+		case <-deadline:
+			t.Fatal("watchdog never flagged the stall")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+escalation:
+	deadline = time.After(5 * time.Second)
+	for {
+		clock.Add(int64(5 * time.Millisecond))
+		select {
+		case r := <-reports:
+			if !r.Escalated {
+				t.Fatalf("second report should be the escalation, got %+v", r)
+			}
+			err := &StallError{Report: r}
+			if !strings.Contains(err.Error(), "suspect host 1") || !strings.Contains(err.Error(), `"encode"`) {
+				t.Fatalf("StallError should name host and phase: %q", err.Error())
+			}
+			if len(w.Reports()) != 2 {
+				t.Fatalf("Reports() = %d entries, want 2", len(w.Reports()))
+			}
+			return
+		case <-deadline:
+			t.Fatal("watchdog never escalated")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// TestWatchdogQuietOnProgress: rounds that keep advancing within the
+// threshold never produce a report.
+func TestWatchdogQuietOnProgress(t *testing.T) {
+	var clock atomic.Int64
+	h := NewHealth(func() int64 { return clock.Load() })
+	w := StartWatchdog(nil, h, WatchdogConfig{Factor: 8, MinRound: 50 * time.Millisecond, Poll: time.Millisecond})
+	for round := int32(0); round < 10; round++ {
+		h.Update(Heartbeat{Host: 0, Round: round, Phase: PhaseCompute, BeatNs: clock.Load()})
+		h.Update(Heartbeat{Host: 1, Round: round, Phase: PhaseSync, BeatNs: clock.Load()})
+		clock.Add(int64(2 * time.Millisecond))
+		time.Sleep(2 * time.Millisecond)
+	}
+	w.Stop()
+	if n := len(w.Reports()); n != 0 {
+		t.Fatalf("healthy cluster produced %d stall reports", n)
+	}
+}
+
+func TestWatchdogTraceTail(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	r1 := tr.Recorder(1)
+	r1.SetRound(2)
+	r1.Emit(Event{Start: 10, Dur: 5, Phase: PhaseEncode, Peer: 0, Value: 99})
+	tr.Recorder(0).Emit(Event{Start: 11, Dur: 5, Phase: PhaseFold, Peer: 1})
+
+	var clock atomic.Int64
+	h := NewHealth(func() int64 { return clock.Load() })
+	reports := make(chan *StallReport, 1)
+	w := StartWatchdog(tr, h, WatchdogConfig{MinRound: time.Millisecond, Poll: time.Millisecond, TraceTail: 8,
+		OnReport: func(r *StallReport) {
+			select {
+			case reports <- r:
+			default:
+			}
+		}})
+	defer w.Stop()
+	h.Update(Heartbeat{Host: 0, Round: 2, Phase: PhaseRecvWait})
+	h.Update(Heartbeat{Host: 1, Round: 2, Phase: PhaseEncode})
+	deadline := time.After(5 * time.Second)
+	for {
+		clock.Add(int64(time.Millisecond))
+		select {
+		case r := <-reports:
+			if len(r.TraceTail) != 1 || r.TraceTail[0].Host != 1 || r.TraceTail[0].Value != 99 {
+				t.Fatalf("trace tail should hold the suspect's events only: %+v", r.TraceTail)
+			}
+			return
+		case <-deadline:
+			t.Fatal("no report")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
