@@ -42,9 +42,12 @@ bench:
 sync-bench:
 	$(GO) run ./cmd/gluon-bench -sync-json BENCH_sync.json -scale 12 -edgefactor 8 -seed 7 -workers 0
 
-# Trace-overhead guard: the sync hot path with tracing disabled must stay
-# within 5% time and zero allocation regression of the BENCH_sync.json
-# baseline (DESIGN.md §4.3). Same pinned parameters as sync-bench.
+# Hot-path guard: the sync hot path with tracing disabled must stay within
+# 5% time and zero allocation regression of the BENCH_sync.json baseline
+# (DESIGN.md §4.3), gated across all three compression tiers — off (auto),
+# static threshold (comp-static), and the adaptive CompressTuner policy
+# (comp-adaptive) — plus the unopt wire format (DESIGN.md §4.5). Same
+# pinned parameters as sync-bench.
 trace-guard:
 	$(GO) run ./cmd/gluon-bench -sync-guard BENCH_sync.json -guard-tol 0.05 -scale 12 -edgefactor 8 -seed 7 -workers 0
 

@@ -1,0 +1,157 @@
+package autotune
+
+import (
+	"testing"
+)
+
+func TestCompressTunerMinSize(t *testing.T) {
+	tn := NewCompressTuner(CompressConfig{MinSize: 100})
+	if tn.ShouldCompress(1, 99) {
+		t.Fatal("sub-MinSize payload should never compress")
+	}
+	if !tn.ShouldCompress(1, 100) {
+		t.Fatal("at-MinSize payload should probe-compress")
+	}
+}
+
+func TestCompressTunerKeepsCompressingWhenWorthIt(t *testing.T) {
+	tn := NewCompressTuner(CompressConfig{MinSize: 1, ProbeWindow: 2})
+	for i := 0; i < 20; i++ {
+		if !tn.ShouldCompress(7, 1000) {
+			t.Fatalf("message %d: declined despite 60%% saving", i)
+		}
+		tn.Observe(7, 1000, 400, 5000, true) // 60% saving
+	}
+	st := tn.Snapshot()
+	if len(st) != 1 || st[0].Skipping {
+		t.Fatalf("field should be in the compressing state: %+v", st)
+	}
+	if st[0].Ratio < 0.35 || st[0].Ratio > 0.45 {
+		t.Fatalf("ratio EWMA should settle near 0.4, got %g", st[0].Ratio)
+	}
+}
+
+func TestCompressTunerSkipsIncompressibleField(t *testing.T) {
+	tn := NewCompressTuner(CompressConfig{MinSize: 1, ProbeWindow: 2, ProbeEvery: 8})
+	// Probe window: compression barely saves anything (2% < 10% MinSaving).
+	probes := 0
+	for i := 0; i < 2; i++ {
+		if !tn.ShouldCompress(3, 1000) {
+			t.Fatalf("probe message %d declined", i)
+		}
+		tn.Observe(3, 1000, 980, 5000, true)
+		probes++
+	}
+	// The field must now be skipping.
+	declined := 0
+	for i := 0; i < 7; i++ {
+		if tn.ShouldCompress(3, 1000) {
+			t.Fatalf("message %d after bad probes: should skip", i)
+		}
+		tn.Observe(3, 1000, 1000, 0, false) // policy declined, shipped raw
+		declined++
+	}
+	// The 8th skipped message is the re-probe.
+	if !tn.ShouldCompress(3, 1000) {
+		t.Fatal("re-probe message should compress")
+	}
+	st := tn.Snapshot()
+	if !st[0].Skipping {
+		t.Fatalf("field should be skipping: %+v", st[0])
+	}
+	_ = probes
+	_ = declined
+}
+
+func TestCompressTunerReprobeRecovers(t *testing.T) {
+	tn := NewCompressTuner(CompressConfig{MinSize: 1, ProbeWindow: 1, ProbeEvery: 4, Alpha: 1})
+	// One bad probe flips the field to skipping (Alpha=1 → no smoothing).
+	tn.Observe(9, 1000, 1000, 100, true)
+	if tn.ShouldCompress(9, 1000) {
+		t.Fatal("field should skip after an incompressible probe")
+	}
+	// Burn declines until the re-probe fires, then feed it a good ratio.
+	fired := false
+	for i := 0; i < 10; i++ {
+		if tn.ShouldCompress(9, 1000) {
+			fired = true
+			tn.Observe(9, 1000, 200, 100, true) // 80% saving now
+			break
+		}
+		tn.Observe(9, 1000, 1000, 0, false)
+	}
+	if !fired {
+		t.Fatal("re-probe never fired")
+	}
+	if !tn.ShouldCompress(9, 1000) {
+		t.Fatal("field should resume compressing after a good re-probe")
+	}
+}
+
+func TestCompressTunerCPUCriterion(t *testing.T) {
+	// 50% saving is well above MinSaving, but the configured link is so
+	// fast that burning CPU on DEFLATE loses: at 1 GB/s, saving half a
+	// byte per byte buys 0.5ns/byte of wire time, and the observed encode
+	// cost is 10ns/byte.
+	tn := NewCompressTuner(CompressConfig{
+		MinSize: 1, ProbeWindow: 2, BandwidthBytesPerSec: 1e9,
+	})
+	for i := 0; i < 2; i++ {
+		tn.Observe(5, 1000, 500, 10000, true) // 10ns/byte
+	}
+	if tn.ShouldCompress(5, 1000) {
+		t.Fatal("CPU criterion should veto compression on a fast link")
+	}
+
+	// Same traffic on a slow link (1 MB/s): wire time dominates, keep
+	// compressing.
+	slow := NewCompressTuner(CompressConfig{
+		MinSize: 1, ProbeWindow: 2, BandwidthBytesPerSec: 1e6,
+	})
+	for i := 0; i < 2; i++ {
+		slow.Observe(5, 1000, 500, 10000, true)
+	}
+	if !slow.ShouldCompress(5, 1000) {
+		t.Fatal("slow link should keep compressing")
+	}
+}
+
+func TestCompressTunerPerFieldIndependence(t *testing.T) {
+	tn := NewCompressTuner(CompressConfig{MinSize: 1, ProbeWindow: 2})
+	for i := 0; i < 4; i++ {
+		tn.Observe(1, 1000, 200, 1000, true) // field 1 compresses well
+		tn.Observe(2, 1000, 990, 1000, true) // field 2 barely saves
+	}
+	if !tn.ShouldCompress(1, 1000) {
+		t.Fatal("field 1 should compress")
+	}
+	if tn.ShouldCompress(2, 1000) {
+		t.Fatal("field 2 should skip")
+	}
+	st := tn.Snapshot()
+	if len(st) != 2 || st[0].FieldID != 1 || st[1].FieldID != 2 {
+		t.Fatalf("snapshot should list both fields sorted: %+v", st)
+	}
+}
+
+func TestCompressTunerConcurrentSafety(t *testing.T) {
+	tn := NewCompressTuner(CompressConfig{MinSize: 1})
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				id := uint32(w % 2)
+				if tn.ShouldCompress(id, 1000) {
+					tn.Observe(id, 1000, 500, 1000, true)
+				} else {
+					tn.Observe(id, 1000, 1000, 0, false)
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		<-done
+	}
+	tn.Snapshot()
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"gluon/internal/algorithms/sssp"
+	"gluon/internal/autotune"
 	"gluon/internal/dsys"
 	"gluon/internal/gluon"
 	"gluon/internal/partition"
@@ -59,7 +60,9 @@ func AblationEncodings(w io.Writer, p Params) error {
 }
 
 // AblationCompression measures the optional DEFLATE wrapper (§4.2's
-// "other compression techniques") on the volume-heavy pagerank run.
+// "other compression techniques") on the volume-heavy pagerank run, in its
+// three tiers: off, the static size threshold, and the adaptive per-field
+// CompressTuner policy.
 func AblationCompression(w io.Writer, p Params) error {
 	hosts := p.Hosts[len(p.Hosts)-1]
 	fmt.Fprintf(w, "Ablation: optional message compression — d-galois pr, cvc, %d hosts\n", hosts)
@@ -68,20 +71,31 @@ func AblationCompression(w io.Writer, p Params) error {
 	if err != nil {
 		return err
 	}
-	for _, compress := range []bool{false, true} {
-		opt := gluon.Opt()
-		opt.Compress = compress
-		opt.CompressThreshold = 512
+	configs := []struct {
+		name string
+		opt  func() gluon.Options
+	}{
+		{"plain", gluon.Opt},
+		{"deflate", func() gluon.Options {
+			opt := gluon.Opt()
+			opt.Compress = true
+			opt.CompressThreshold = 512
+			return opt
+		}},
+		{"adaptive", func() gluon.Options {
+			opt := gluon.Opt()
+			opt.Compress = true
+			opt.CompressPolicy = autotune.NewCompressTuner(autotune.CompressConfig{MinSize: 512})
+			return opt
+		}},
+	}
+	for _, c := range configs {
 		m, err := RunSpec(Spec{System: DGalois, Benchmark: "pr",
-			Hosts: hosts, Policy: partition.CVC, Opt: opt}, wl, p)
+			Hosts: hosts, Policy: partition.CVC, Opt: c.opt()}, wl, p)
 		if err != nil {
 			return err
 		}
-		name := "plain"
-		if compress {
-			name = "deflate"
-		}
-		fmt.Fprintf(w, "%-12s %14s %12s\n", name, fmtBytes(m.CommBytes), fmtDur(m.Time))
+		fmt.Fprintf(w, "%-12s %14s %12s\n", c.name, fmtBytes(m.CommBytes), fmtDur(m.Time))
 	}
 	return nil
 }

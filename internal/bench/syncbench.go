@@ -16,6 +16,7 @@ import (
 	"sync"
 	"testing"
 
+	"gluon/internal/autotune"
 	"gluon/internal/bitset"
 	"gluon/internal/comm"
 	"gluon/internal/fields"
@@ -142,20 +143,45 @@ func (c *syncBenchCluster) syncAll() error {
 	return nil
 }
 
-// encSpec pairs an encoding name with its options.
+// encSpec pairs an encoding name with an options factory. A factory (not a
+// value) because the adaptive-compression tier carries a stateful
+// CompressTuner: each measured cluster must start from an untrained policy,
+// or the 8-host row would inherit what the 2-host row learned.
 type encSpec struct {
 	name string
-	opt  gluon.Options
+	opt  func() gluon.Options
 }
 
 func allEncodings() []encSpec {
 	return []encSpec{
-		{"auto", gluon.Opt()},
+		{"auto", gluon.Opt},
 		{"dense", withEncoding(gluon.EncodingDense)},
 		{"bitvec", withEncoding(gluon.EncodingBitvec)},
 		{"indices", withEncoding(gluon.EncodingIndices)},
-		{"unopt", gluon.Unopt()},
+		{"unopt", gluon.Unopt},
+		{"comp-static", compStatic},
+		{"comp-adaptive", compAdaptive},
 	}
+}
+
+// compStatic is the static-threshold compression tier: every payload at or
+// above CompressThreshold gets the DEFLATE attempt, the pre-policy
+// behaviour.
+func compStatic() gluon.Options {
+	opt := gluon.Opt()
+	opt.Compress = true
+	opt.CompressThreshold = 256
+	return opt
+}
+
+// compAdaptive is the adaptive tier: a fresh CompressTuner decides per
+// field from observed ratio and encode cost. MinSize matches the static
+// tier's threshold so the two rows differ only in the adaptive decision.
+func compAdaptive() gluon.Options {
+	opt := gluon.Opt()
+	opt.Compress = true
+	opt.CompressPolicy = autotune.NewCompressTuner(autotune.CompressConfig{MinSize: 256})
+	return opt
 }
 
 // SyncBench measures the sync hot path per encoding mode × host count.
@@ -166,8 +192,11 @@ func SyncBench(p Params) (*SyncBenchReport, error) {
 // measureReps repeats each row's measurement and keeps the fastest: wall
 // time on a shared machine is noisy, and load spikes only ever inflate a
 // rep, so the min estimates the true cost. Allocations are deterministic
-// and identical across reps.
-const measureReps = 5
+// and identical across reps. Eight reps (not fewer) because the guard
+// compares two independent min estimates against a 5% tolerance — on a
+// small or busy machine both must converge to the true floor or the gate
+// flaps.
+const measureReps = 8
 
 func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchReport, error) {
 	rep := &SyncBenchReport{
@@ -176,7 +205,7 @@ func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchRe
 	}
 	for _, hosts := range hostCounts {
 		for _, e := range encodings {
-			opt := e.opt
+			opt := e.opt()
 			opt.SyncWorkers = p.Workers
 			c, err := newSyncBenchCluster(p, hosts, opt)
 			if err != nil {
@@ -222,10 +251,12 @@ func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchRe
 	return rep, nil
 }
 
-func withEncoding(enc gluon.Encoding) gluon.Options {
-	opt := gluon.Opt()
-	opt.ForceEncoding = enc
-	return opt
+func withEncoding(enc gluon.Encoding) func() gluon.Options {
+	return func() gluon.Options {
+		opt := gluon.Opt()
+		opt.ForceEncoding = enc
+		return opt
+	}
 }
 
 // WriteSyncBenchJSON runs SyncBench and writes the report as indented JSON.
@@ -279,13 +310,15 @@ func CompareSyncBench(base, cur *SyncBenchReport, tol float64) error {
 	return nil
 }
 
-// GuardSyncBench is the trace-overhead guard behind `make check`: it
+// GuardSyncBench is the hot-path regression guard behind `make check`: it
 // re-measures a subset of the sync hot path with tracing disabled (the
 // default — no recorder attached) and fails if time regresses more than
 // tol or allocations regress at all versus the baseline report at
-// baselinePath (BENCH_sync.json). The guard measures auto and unopt at
-// both host counts: those cover both wire formats and all instrumented
-// paths; the forced-encoding rows only vary payload layout.
+// baselinePath (BENCH_sync.json). The guard gates the three compression
+// tiers — auto (compression off), comp-static (fixed threshold), and
+// comp-adaptive (CompressTuner policy) — plus unopt: together those cover
+// both wire formats, the whole compression decision surface, and all
+// instrumented paths; the forced-encoding rows only vary payload layout.
 //
 // Both the baseline and the guard measurement are min-over-reps (see
 // measureReps), so a tight tol stays meaningful on a noisy machine. Rows
@@ -302,8 +335,18 @@ func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) err
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
 	}
-	guardOpts := map[string]gluon.Options{"auto": gluon.Opt(), "unopt": gluon.Unopt()}
-	guard := []encSpec{{"auto", guardOpts["auto"]}, {"unopt", guardOpts["unopt"]}}
+	guardOpts := map[string]func() gluon.Options{
+		"auto":          gluon.Opt,
+		"unopt":         gluon.Unopt,
+		"comp-static":   compStatic,
+		"comp-adaptive": compAdaptive,
+	}
+	guard := []encSpec{
+		{"auto", guardOpts["auto"]},
+		{"unopt", guardOpts["unopt"]},
+		{"comp-static", guardOpts["comp-static"]},
+		{"comp-adaptive", guardOpts["comp-adaptive"]},
+	}
 	cur, err := syncBenchFor(p, []int{2, 8}, guard)
 	if err != nil {
 		return err
@@ -312,7 +355,11 @@ func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) err
 		return fmt.Errorf("bench: guard config %q workers=%d does not match baseline %q workers=%d — rerun `make sync-bench`",
 			cur.Graph, cur.Workers, base.Graph, base.Workers)
 	}
-	const guardRetries = 2
+	// Five re-measure rounds: the DEFLATE tiers' floors take longer to
+	// surface on a small machine, and a retry only ever lowers the
+	// estimate, so extra rounds trade guard latency for gate stability
+	// without ever masking a real regression.
+	const guardRetries = 5
 	for retry := 0; retry < guardRetries; retry++ {
 		bad := violatingRows(&base, cur, tol)
 		if len(bad) == 0 {

@@ -26,6 +26,15 @@ import (
 // errors.Is(err, ErrClosed), and Sends fail the same way.
 var ErrClosed = errors.New("comm: transport closed")
 
+// ErrFrameTooLarge is the sentinel wrapped by the error Send/SendVec return
+// when the message (header plus payload) exceeds MaxFrameSize. The frame is
+// rejected before any byte reaches the wire — the peer is not poisoned and
+// the link stays usable — so an oversized message is a caller bug surfaced
+// at the send site, not a malformed-frame fault discovered by the receiver's
+// read loop. Match with errors.Is(err, ErrFrameTooLarge). The payload is
+// still released per the ownership contract.
+var ErrFrameTooLarge = errors.New("comm: frame exceeds MaxFrameSize")
+
 // PeerError reports that a specific peer failed: its connection died, it
 // delivered a malformed frame, or the runtime declared it dead (see
 // PeerFailer). Every Recv/RecvAny blocked on — or later directed at — a
@@ -114,6 +123,14 @@ const (
 // it with PutBuf once decoded. Build payloads with GetBuf and the steady
 // state is allocation-free end to end; buffers from make() simply join the
 // pool. Custom Transport implementations must honor the same contract.
+//
+// SendVec extends the contract with a split-ownership rule: the payload
+// transfers to the transport exactly as in Send, but the header slice stays
+// owned by the caller — the transport consumes it (copies or writes it to
+// the wire) before SendVec returns and never retains a reference to it, so
+// callers may keep the header in a stack array or reused scratch buffer.
+// The receiver observes a single contiguous message of
+// len(header)+len(payload) bytes; the split exists only on the send side.
 type Transport interface {
 	// HostID returns this endpoint's rank in [0, NumHosts).
 	HostID() int
@@ -123,6 +140,13 @@ type Transport interface {
 	// by the transport after Send returns (see the release contract above);
 	// callers must not touch it. Sending to self is allowed and loops back.
 	Send(to int, tag Tag, payload []byte) error
+	// SendVec delivers header++payload to host `to` under `tag` as one
+	// message, gathering the two slices on the wire (writev on TCP) so the
+	// caller never coalesces them. Ownership splits: payload transfers to
+	// the transport as in Send; header remains caller-owned and is fully
+	// consumed before SendVec returns. An empty header makes SendVec
+	// equivalent to Send(to, tag, payload).
+	SendVec(to int, tag Tag, header, payload []byte) error
 	// Recv blocks until a message with the given tag arrives from host
 	// `from`, and returns its payload. The caller owns the returned buffer
 	// and should release it with PutBuf when done decoding.

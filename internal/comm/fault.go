@@ -63,6 +63,15 @@ type FaultConfig struct {
 	// is discarded, the sender is poisoned, and the receive returns a
 	// *PeerError wrapping ErrTruncatedFrame.
 	TruncateRecvAfter int
+
+	// TruncateVecSendAfter = n > 0 kills the n-th vectored send (SendVec
+	// with a non-empty header) mid-frame: the write is modeled as dying
+	// after the header vector but before the payload vector reached the
+	// wire, which on TCP leaves the peer's read loop holding an
+	// unrecoverable short frame. The payload is discarded, the destination
+	// peer is poisoned, and the send returns a *PeerError wrapping
+	// ErrTruncatedFrame. Plain Sends and nil-header SendVecs don't count.
+	TruncateVecSendAfter int
 }
 
 // FaultTransport implements Transport (and PeerFailer) over an inner
@@ -77,6 +86,7 @@ type FaultTransport struct {
 	sends     int // all sends, for DelayEvery
 	killSends int // sends to KillPeer, for KillAfterSends
 	recvs     int // successful receives, for TruncateRecvAfter
+	vecSends  int // vectored (non-empty header) sends, for TruncateVecSendAfter
 	killed    bool
 }
 
@@ -104,18 +114,18 @@ func (f *FaultTransport) HostID() int { return f.inner.HostID() }
 // NumHosts implements Transport.
 func (f *FaultTransport) NumHosts() int { return f.inner.NumHosts() }
 
-// Send implements Transport, injecting kill and delay faults.
-func (f *FaultTransport) Send(to int, tag Tag, payload []byte) error {
+// injectSend advances the send counters and decides this send's fate:
+// whether the connection kill fires, how long to delay, and — for vectored
+// sends with a non-empty header — whether the write dies mid-frame.
+func (f *FaultTransport) injectSend(to int, vectored bool) (kill, truncate bool, delay time.Duration) {
 	f.mu.Lock()
 	f.sends++
-	var delay time.Duration
 	if f.cfg.DelayEvery > 0 && f.sends%f.cfg.DelayEvery == 0 {
 		delay = f.cfg.Delay
 		if f.cfg.DelayJitter > 0 {
 			delay += time.Duration(f.rng.Int63n(int64(f.cfg.DelayJitter)))
 		}
 	}
-	kill := false
 	if f.cfg.KillAfterSends > 0 && to == f.cfg.KillPeer {
 		if f.killed {
 			kill = true
@@ -127,8 +137,17 @@ func (f *FaultTransport) Send(to int, tag Tag, payload []byte) error {
 			}
 		}
 	}
+	if vectored && f.cfg.TruncateVecSendAfter > 0 {
+		f.vecSends++
+		truncate = f.vecSends == f.cfg.TruncateVecSendAfter
+	}
 	f.mu.Unlock()
+	return kill, truncate, delay
+}
 
+// dispatchSend applies an injectSend verdict and forwards the surviving
+// message to the inner transport.
+func (f *FaultTransport) dispatchSend(to int, tag Tag, header, payload []byte, kill, truncate bool, delay time.Duration) error {
 	if kill {
 		traceFaultf(f.tracer.rec(), f.cfg.KillPeer, "injected kill after %d sends", f.cfg.KillAfterSends)
 		f.failPeerInner(f.cfg.KillPeer, ErrInjectedFault)
@@ -136,11 +155,40 @@ func (f *FaultTransport) Send(to int, tag Tag, payload []byte) error {
 		PutBuf(payload)
 		return &PeerError{Host: f.cfg.KillPeer, Err: ErrInjectedFault}
 	}
+	if truncate {
+		// Model a vectored write dying between the header and payload
+		// vectors: the frame on the wire is short and unrecoverable, so the
+		// destination link is poisoned exactly as its read loop would.
+		traceFaultf(f.tracer.rec(), to, "injected mid-frame death: vectored write split after %d-byte header", len(header))
+		PutBuf(payload)
+		f.failPeerInner(to, ErrTruncatedFrame)
+		return &PeerError{Host: to, Err: fmt.Errorf("%w (vectored write split mid-frame)", ErrTruncatedFrame)}
+	}
 	if delay > 0 {
 		traceFaultf(f.tracer.rec(), to, "injected delay %v", delay)
 		time.Sleep(delay)
 	}
-	return f.inner.Send(to, tag, payload)
+	if header == nil {
+		return f.inner.Send(to, tag, payload)
+	}
+	return f.inner.SendVec(to, tag, header, payload)
+}
+
+// Send implements Transport, injecting kill and delay faults.
+func (f *FaultTransport) Send(to int, tag Tag, payload []byte) error {
+	kill, _, delay := f.injectSend(to, false)
+	return f.dispatchSend(to, tag, nil, payload, kill, false, delay)
+}
+
+// SendVec implements Transport, injecting kill, delay, and mid-frame
+// truncation faults. Only sends with a non-empty header count as vectored
+// for TruncateVecSendAfter.
+func (f *FaultTransport) SendVec(to int, tag Tag, header, payload []byte) error {
+	kill, truncate, delay := f.injectSend(to, len(header) > 0)
+	if len(header) == 0 {
+		header = nil
+	}
+	return f.dispatchSend(to, tag, header, payload, kill, truncate, delay)
 }
 
 // Recv implements Transport, injecting truncation faults.

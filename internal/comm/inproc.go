@@ -96,6 +96,10 @@ func (e *inprocEndpoint) Send(to int, tag Tag, payload []byte) error {
 	if to < 0 || to >= len(e.hub.endpoints) {
 		return fmt.Errorf("comm: send to host %d of %d", to, len(e.hub.endpoints))
 	}
+	if len(payload) > MaxFrameSize {
+		PutBuf(payload)
+		return fmt.Errorf("comm: send to host %d: %d-byte frame: %w", to, len(payload), ErrFrameTooLarge)
+	}
 	e.ctr.msgsSent.Add(1)
 	e.ctr.bytesSent.Add(uint64(len(payload)))
 	dst := e.hub.endpoints[to]
@@ -108,6 +112,25 @@ func (e *inprocEndpoint) Send(to int, tag Tag, payload []byte) error {
 	}
 	traceFrame(e.rec(), trace.PhaseFrameSend, to, tag, len(payload))
 	return nil
+}
+
+// SendVec implements Transport. In-process delivery hands the receiver one
+// contiguous buffer, so a non-empty header is coalesced with the payload
+// into a fresh pooled buffer here (the payload buffer is released); the
+// nil-header case stays the zero-copy enqueue Send performs.
+func (e *inprocEndpoint) SendVec(to int, tag Tag, header, payload []byte) error {
+	if len(header) == 0 {
+		return e.Send(to, tag, payload)
+	}
+	if n := len(header) + len(payload); n > MaxFrameSize {
+		PutBuf(payload)
+		return fmt.Errorf("comm: send to host %d: %d-byte frame: %w", to, n, ErrFrameTooLarge)
+	}
+	buf := GetBuf(len(header) + len(payload))
+	copy(buf, header)
+	copy(buf[len(header):], payload)
+	PutBuf(payload)
+	return e.Send(to, tag, buf)
 }
 
 func (e *inprocEndpoint) Recv(from int, tag Tag) ([]byte, error) {

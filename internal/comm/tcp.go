@@ -48,10 +48,16 @@ func (e *TCPEndpoint) poison(from int, err error) {
 }
 
 // tcpConn is one peer link. Writes are serialized per connection — not per
-// endpoint — so one slow peer never blocks sends to the others.
+// endpoint — so one slow peer never blocks sends to the others. The hdr and
+// vec fields are per-conn write scratch, reused under mu so the vectored
+// send path allocates nothing: vec aliases vecArr, whose slots are cleared
+// after every write so the conn never pins a released payload buffer.
 type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn // nil until the mesh handshake installs it
+	mu     sync.Mutex
+	conn   net.Conn // nil until the mesh handshake installs it
+	hdr    [tcpHeaderLen]byte
+	vecArr [3][]byte // frame header + optional caller header + payload
+	vec    net.Buffers
 }
 
 const tcpHeaderLen = 8 // tag uint32 + length uint32
@@ -265,12 +271,41 @@ func (e *TCPEndpoint) NumHosts() int { return len(e.addrs) }
 // Send implements Transport. Writes are serialized per peer connection, so
 // a slow or stalled peer only delays further sends to that same peer.
 func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
+	return e.SendVec(to, tag, nil, payload)
+}
+
+// SendVec implements Transport. The frame header, the caller's header, and
+// the payload go to the socket as one vectored write (net.Buffers → writev),
+// so the payload is never copied between the encode buffer and the kernel.
+// Oversized frames are rejected here, before any byte reaches the wire, with
+// an error wrapping ErrFrameTooLarge — the peer is not poisoned, because no
+// framing was corrupted.
+func (e *TCPEndpoint) SendVec(to int, tag Tag, header, payload []byte) error {
+	n := len(header) + len(payload)
+	if n > MaxFrameSize {
+		PutBuf(payload)
+		return fmt.Errorf("comm: send to host %d: %d-byte frame: %w", to, n, ErrFrameTooLarge)
+	}
 	if to == e.id {
+		// Loopback: deliver through the mailbox without touching the socket
+		// layer. A caller header still has to be coalesced — the receiver
+		// sees one contiguous message — but the common nil-header case stays
+		// zero-copy. Self frames get the same send/recv trace instants a
+		// wire frame would, so they are visible in frame-level timelines.
+		if len(header) > 0 {
+			buf := GetBuf(n)
+			copy(buf, header)
+			copy(buf[len(header):], payload)
+			PutBuf(payload)
+			payload = buf
+		}
 		e.ctr.msgsSent.Add(1)
-		e.ctr.bytesSent.Add(uint64(len(payload)))
+		e.ctr.bytesSent.Add(uint64(n))
 		e.ctr.msgsRecvd.Add(1)
-		e.ctr.bytesRecvd.Add(uint64(len(payload)))
+		e.ctr.bytesRecvd.Add(uint64(n))
 		e.mbox.put(e.id, tag, payload)
+		traceFrame(e.rec(), trace.PhaseFrameSend, to, tag, n)
+		traceFrame(e.rec(), trace.PhaseFrameRecv, to, tag, n)
 		return nil
 	}
 	if to < 0 || to >= len(e.addrs) {
@@ -284,15 +319,25 @@ func (e *TCPEndpoint) Send(to int, tag Tag, payload []byte) error {
 		PutBuf(payload)
 		return fmt.Errorf("comm: send to host %d: %w", to, ErrClosed)
 	}
-	n := len(payload)
-	buf := GetBuf(tcpHeaderLen + n)
-	binary.LittleEndian.PutUint32(buf[0:], uint32(tag))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(n))
-	copy(buf[tcpHeaderLen:], payload)
-	_, err := c.conn.Write(buf)
+	binary.LittleEndian.PutUint32(c.hdr[0:], uint32(tag))
+	binary.LittleEndian.PutUint32(c.hdr[4:], uint32(n))
+	c.vecArr[0] = c.hdr[:]
+	nv := 1
+	if len(header) > 0 {
+		c.vecArr[nv] = header
+		nv++
+	}
+	if len(payload) > 0 {
+		c.vecArr[nv] = payload
+		nv++
+	}
+	// vec aliases the conn-owned array, so WriteTo consuming it allocates
+	// nothing; the slots are cleared below so released buffers aren't pinned.
+	c.vec = net.Buffers(c.vecArr[:nv])
+	_, err := c.vec.WriteTo(c.conn)
+	c.vecArr[1], c.vecArr[2] = nil, nil
 	c.mu.Unlock()
-	PutBuf(buf)
-	// The payload has been copied onto the wire: release it per the
+	// The payload is on the wire (or the link is dead): release it per the
 	// Transport contract so pooled sender buffers are reclaimed here.
 	PutBuf(payload)
 	if err != nil {

@@ -37,7 +37,9 @@ type hashingTransport struct {
 	acc *atomic.Uint64
 }
 
-func (h hashingTransport) Send(to int, tag comm.Tag, payload []byte) error {
+// digest hashes one message as the receiver will see it: src, dst, tag, the
+// total length, and the contiguous header+payload bytes.
+func (h hashingTransport) digest(to int, tag comm.Tag, header, payload []byte) {
 	f := fnv.New64a()
 	var hdr [16]byte
 	put32 := func(off int, v uint32) {
@@ -49,11 +51,23 @@ func (h hashingTransport) Send(to int, tag comm.Tag, payload []byte) error {
 	put32(0, uint32(h.Transport.HostID()))
 	put32(4, uint32(to))
 	put32(8, uint32(tag))
-	put32(12, uint32(len(payload)))
+	put32(12, uint32(len(header)+len(payload)))
 	f.Write(hdr[:])
+	f.Write(header)
 	f.Write(payload)
 	h.acc.Add(f.Sum64()) // commutative fold: send order is irrelevant
+}
+
+func (h hashingTransport) Send(to int, tag comm.Tag, payload []byte) error {
+	h.digest(to, tag, nil, payload)
 	return h.Transport.Send(to, tag, payload)
+}
+
+// SendVec keeps the digest identical to an equivalent Send of the coalesced
+// message, so goldens are invariant to which wire path a message took.
+func (h hashingTransport) SendVec(to int, tag comm.Tag, header, payload []byte) error {
+	h.digest(to, tag, header, payload)
+	return h.Transport.SendVec(to, tag, header, payload)
 }
 
 type goldenRow struct {

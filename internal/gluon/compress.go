@@ -8,12 +8,19 @@ package gluon
 //
 // Compression runs after encoding-mode selection, so the adaptive
 // dense/bitvec/indices choice still minimizes the pre-compression size.
+//
+// The wire path is zero-copy: the DEFLATE stream is produced directly in
+// the pooled buffer that goes to the transport, and the 5-byte wrapper
+// header travels as the separate header slice of Transport.SendVec (the
+// caller-owned half of the vectored-send contract), so neither the raw nor
+// the compressed payload is ever copied to glue the wrapper on.
 
 import (
 	"compress/flate"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"time"
 
 	"gluon/internal/comm"
 )
@@ -21,53 +28,115 @@ import (
 // modeCompressed wraps any other mode's payload in a deflate stream.
 const modeCompressed byte = 5
 
+// compHdrLen is the compressed-message wrapper header:
+// [modeCompressed][uncompressed length uint32].
+const compHdrLen = 5
+
 const defaultCompressThreshold = 1024
 
-// maybeCompress wraps payload if the options ask for it and it helps. When
-// it does, the input payload is released back to the buffer pool and the
-// returned payload is a fresh pooled buffer; otherwise the input passes
-// through untouched. Stats are adjusted on st by the bytes saved
-// (attributed to metadata, since values and metadata are interleaved
-// post-compression).
-func (g *Gluon) maybeCompress(payload []byte, st *Stats) []byte {
+// CompressPolicy decides, per message, whether the DEFLATE wrapper should
+// run, replacing the fixed CompressThreshold comparison with a measured
+// choice. Implementations must be safe for concurrent use: parallel encode
+// workers consult one shared policy, and several fields interleave.
+//
+// The autotune package provides the adaptive implementation
+// (autotune.NewCompressTuner), which probes each field, tracks the observed
+// compression ratio and encode-side cost, and skips fields that stopped
+// paying for themselves — re-probing periodically so a field whose value
+// distribution shifts (frontier collapse, convergence) is re-evaluated.
+type CompressPolicy interface {
+	// ShouldCompress reports whether a size-byte encoded payload of field
+	// fieldID should attempt the DEFLATE wrapper.
+	ShouldCompress(fieldID uint32, size int) bool
+	// Observe feeds back the outcome of one send: rawBytes is the encoded
+	// payload size, wireBytes the bytes actually shipped (equal to rawBytes
+	// when the message went uncompressed), compressNs the CPU time spent
+	// compressing (0 when the attempt was skipped), and shipped whether the
+	// compressed form went to the wire.
+	Observe(fieldID uint32, rawBytes, wireBytes int, compressNs int64, shipped bool)
+}
+
+// maybeCompress wraps payload if the options ask for it and it helps. On
+// success the returned hdr is the 5-byte compressed wrapper (stored in sc,
+// caller-owned per the SendVec contract), body is a fresh pooled buffer
+// holding only the deflate stream, and the input payload has been released;
+// the caller ships them with Transport.SendVec(to, tag, hdr, body). When
+// compression is off, skipped, or unhelpful, hdr is nil and body is the
+// untouched input payload for a plain Send. Stats are adjusted on st by the
+// bytes saved (attributed to metadata first, since values and metadata are
+// interleaved post-compression); skipped candidates count in
+// st.CompressSkipped.
+func (g *Gluon) maybeCompress(fieldID uint32, payload []byte, sc *encodeScratch, st *Stats) (hdr, body []byte) {
 	if !g.Opt.Compress || !g.Opt.TemporalInvariance {
-		return payload
+		return nil, payload
 	}
-	threshold := g.Opt.CompressThreshold
-	if threshold <= 0 {
-		threshold = defaultCompressThreshold
+	pol := g.Opt.CompressPolicy
+	raw := len(payload)
+	if pol != nil {
+		if !pol.ShouldCompress(fieldID, raw) {
+			st.CompressSkipped++
+			pol.Observe(fieldID, raw, raw, 0, false)
+			return nil, payload
+		}
+	} else {
+		threshold := g.Opt.CompressThreshold
+		if threshold <= 0 {
+			threshold = defaultCompressThreshold
+		}
+		if raw < threshold {
+			st.CompressSkipped++
+			return nil, payload
+		}
 	}
-	if len(payload) < threshold {
-		return payload
+
+	var t0 time.Time
+	if pol != nil {
+		t0 = time.Now()
 	}
 	c := compressorPool.Get().(*compressor)
 	defer compressorPool.Put(c)
-	c.buf.Reset()
-	c.buf.WriteByte(modeCompressed)
-	var lenHdr [4]byte
-	binary.LittleEndian.PutUint32(lenHdr[:], uint32(len(payload)))
-	c.buf.Write(lenHdr[:])
+	// The deflate stream must beat raw by more than the wrapper header to be
+	// worth shipping; bounding the output buffer at that margin makes an
+	// incompressible message fail the Write instead of finishing a useless
+	// stream.
+	bound := raw - compHdrLen - 1
+	if bound <= 0 {
+		st.CompressSkipped++
+		if pol != nil {
+			pol.Observe(fieldID, raw, raw, time.Since(t0).Nanoseconds(), false)
+		}
+		return nil, payload
+	}
+	out := comm.GetBuf(bound)
+	c.out = poolBuf{buf: out}
 	if c.w == nil {
 		// flate.BestSpeed: messages are latency-sensitive; level 1 already
 		// captures most of the redundancy in packed label arrays.
-		w, err := flate.NewWriter(&c.buf, flate.BestSpeed)
+		w, err := flate.NewWriter(&c.out, flate.BestSpeed)
 		if err != nil {
-			return payload // cannot happen with a valid level; fail open
+			comm.PutBuf(out)
+			return nil, payload // cannot happen with a valid level; fail open
 		}
 		c.w = w
 	} else {
-		c.w.Reset(&c.buf)
+		c.w.Reset(&c.out)
 	}
-	if _, err := c.w.Write(payload); err != nil {
-		return payload
+	_, err := c.w.Write(payload)
+	if err == nil {
+		err = c.w.Close()
 	}
-	if err := c.w.Close(); err != nil {
-		return payload
+	if err != nil {
+		// Incompressible (bound overflow) or a writer fault: ship raw.
+		comm.PutBuf(out)
+		st.CompressSkipped++
+		if pol != nil {
+			pol.Observe(fieldID, raw, raw, time.Since(t0).Nanoseconds(), false)
+		}
+		return nil, payload
 	}
-	if c.buf.Len() >= len(payload) {
-		return payload // incompressible; send as-is
-	}
-	saved := uint64(len(payload) - c.buf.Len())
+	n := c.out.n
+	wire := compHdrLen + n
+	saved := uint64(raw - wire)
 	st.CompressedMessages++
 	st.CompressionSaved += saved
 	// The wire carries fewer bytes than the encoder accounted; correct the
@@ -83,10 +152,13 @@ func (g *Gluon) maybeCompress(payload []byte, st *Stats) []byte {
 			st.ValueBytes = 0
 		}
 	}
-	out := comm.GetBuf(c.buf.Len())
-	copy(out, c.buf.Bytes())
+	sc.compHdr[0] = modeCompressed
+	binary.LittleEndian.PutUint32(sc.compHdr[1:], uint32(raw))
 	comm.PutBuf(payload)
-	return out
+	if pol != nil {
+		pol.Observe(fieldID, raw, wire, time.Since(t0).Nanoseconds(), true)
+	}
+	return sc.compHdr[:], out[:n]
 }
 
 // maybeDecompress unwraps a compressed payload; other payloads pass
@@ -96,7 +168,7 @@ func maybeDecompress(payload []byte) (out []byte, pooled bool, err error) {
 	if len(payload) == 0 || payload[0] != modeCompressed {
 		return payload, false, nil
 	}
-	if len(payload) < 5 {
+	if len(payload) < compHdrLen {
 		return nil, false, fmt.Errorf("short compressed message")
 	}
 	want := binary.LittleEndian.Uint32(payload[1:])
@@ -105,7 +177,7 @@ func maybeDecompress(payload []byte) (out []byte, pooled bool, err error) {
 	}
 	inf := inflatorPool.Get().(*inflator)
 	defer inflatorPool.Put(inf)
-	inf.br.Reset(payload[5:])
+	inf.br.Reset(payload[compHdrLen:])
 	if inf.fr == nil {
 		inf.fr = flate.NewReader(&inf.br)
 	} else if err := inf.fr.(flate.Resetter).Reset(&inf.br, nil); err != nil {

@@ -69,8 +69,16 @@ type Options struct {
 	// CPU for volume; worthwhile on slow links.
 	Compress bool
 	// CompressThreshold is the minimum payload size to compress
-	// (0 = 1 KiB).
+	// (0 = 1 KiB). Ignored when CompressPolicy is set.
 	CompressThreshold int
+	// CompressPolicy, when non-nil (and Compress is on), makes the
+	// compress-or-ship-raw choice per message instead of the fixed
+	// CompressThreshold comparison, and receives the observed outcome
+	// (raw/wire sizes, compression time) of every send so it can adapt.
+	// Implementations must be safe for concurrent use — parallel encode
+	// workers consult one shared policy. autotune.NewCompressTuner provides
+	// the adaptive per-field implementation.
+	CompressPolicy CompressPolicy
 	// SyncWorkers caps how many goroutines encode per-peer sync messages
 	// in parallel (0 = one per CPU, 1 = serial encoding). Message bytes
 	// are identical at any setting; only time changes.

@@ -10,6 +10,7 @@ package gluon
 import (
 	"bytes"
 	"compress/flate"
+	"errors"
 	"io"
 	"sync"
 )
@@ -24,6 +25,12 @@ type encodeScratch struct {
 	// value type is a per-call generic parameter; scratchVals re-types it
 	// and replaces it when a differently-typed field syncs.
 	vals any
+	// compHdr is the 5-byte compressed-message header
+	// ([modeCompressed][uncompressed length]) maybeCompress hands to
+	// Transport.SendVec. It lives in the scratch — not the compressor, which
+	// is pooled again before the send happens — because the header must stay
+	// valid until SendVec consumes it.
+	compHdr [compHdrLen]byte
 }
 
 var encodeScratchPool = sync.Pool{New: func() any { return new(encodeScratch) }}
@@ -49,10 +56,13 @@ func scratchVals[V Value](sc *encodeScratch, n int) []V {
 
 // peerScratch holds the per-sync peer work lists: the send and receive
 // peer sets, the mutable remaining-peer set RecvAny consumes, and the
-// per-host staging slots the reduce path parks early arrivals in.
+// per-host staging slots the reduce path parks early arrivals in. A staged
+// entry is the raw (decompressed if needed) wire message of an out-of-order
+// arrival, kept in its pooled buffer until its fold turn — no decoded
+// (lids, values) materialization exists anywhere anymore.
 type peerScratch struct {
 	send, recv, rem []int
-	stages          []*decodeStage
+	stages          [][]byte
 	errCh           chan error
 }
 
@@ -74,9 +84,9 @@ func (ps *peerScratch) errChan() chan error {
 
 // hostStages returns the per-host staging slot array, nil-cleared, sized to
 // the host count.
-func (ps *peerScratch) hostStages(hosts int) []*decodeStage {
+func (ps *peerScratch) hostStages(hosts int) [][]byte {
 	if cap(ps.stages) < hosts {
-		ps.stages = make([]*decodeStage, hosts)
+		ps.stages = make([][]byte, hosts)
 	}
 	ps.stages = ps.stages[:hosts]
 	for i := range ps.stages {
@@ -85,33 +95,33 @@ func (ps *peerScratch) hostStages(hosts int) []*decodeStage {
 	return ps.stages
 }
 
-// decodeStage holds one decoded-but-unapplied reduce message: resolved
-// lids in message order and their values. The reduce path decodes arrivals
-// immediately but folds them into masters in ascending host order, so that
-// order-sensitive reductions (floating-point sums) produce bit-identical
-// results to a serial rank-order sync.
-type decodeStage struct {
-	lids []uint32
-	vals any
+// poolBuf is a bounded io.Writer over a caller-provided buffer: the DEFLATE
+// writer streams straight into the pooled buffer that will go to the
+// transport as the wire payload, so a compressed message is never copied
+// between a staging area and the outgoing buffer. A write that would exceed
+// the bound (len(buf)) fails with errIncompressible — the bound is the raw
+// payload size, so overflow means compression is not paying for itself and
+// the caller ships the raw payload instead.
+type poolBuf struct {
+	buf []byte // the future wire payload; len is the output bound
+	n   int    // bytes written
 }
 
-var decodeStagePool = sync.Pool{New: func() any { return new(decodeStage) }}
+var errIncompressible = errors.New("gluon: compressed output not smaller than input")
 
-func getDecodeStage() *decodeStage   { return decodeStagePool.Get().(*decodeStage) }
-func putDecodeStage(st *decodeStage) { decodeStagePool.Put(st) }
-
-// stageVals returns the stage's value slice emptied for appending,
-// preserving a previously grown backing array of the same value type.
-func stageVals[V Value](st *decodeStage) []V {
-	if vs, ok := st.vals.([]V); ok {
-		return vs[:0]
+func (p *poolBuf) Write(q []byte) (int, error) {
+	if p.n+len(q) > len(p.buf) {
+		return 0, errIncompressible
 	}
-	return nil
+	copy(p.buf[p.n:], q)
+	p.n += len(q)
+	return len(q), nil
 }
 
-// compressor bundles a reusable DEFLATE writer with its staging buffer.
+// compressor bundles a reusable DEFLATE writer with the bounded-output
+// adapter it writes through.
 type compressor struct {
-	buf bytes.Buffer
+	out poolBuf
 	w   *flate.Writer
 }
 

@@ -37,6 +37,10 @@ type Stats struct {
 	// DEFLATE wrapper; CompressionSaved is the wire bytes it removed.
 	CompressedMessages uint64
 	CompressionSaved   uint64
+	// CompressSkipped counts messages that went uncompressed while
+	// compression was enabled: below the static threshold, declined by the
+	// CompressPolicy, or attempted but incompressible.
+	CompressSkipped uint64
 }
 
 // BytesSent returns total field-sync payload bytes.
@@ -56,5 +60,6 @@ func (s Stats) Add(other Stats) Stats {
 	s.MemoProxies += other.MemoProxies
 	s.CompressedMessages += other.CompressedMessages
 	s.CompressionSaved += other.CompressionSaved
+	s.CompressSkipped += other.CompressSkipped
 	return s
 }

@@ -156,6 +156,29 @@ func modeDelta(st, st0 *Stats) int8 {
 	return -1
 }
 
+// compDelta returns the trace compression tag of the one message encoded
+// between the st0 snapshot and st: shipped compressed, considered but
+// skipped, or not a candidate (compression off).
+func compDelta(st, st0 *Stats) int8 {
+	switch {
+	case st.CompressedMessages != st0.CompressedMessages:
+		return trace.CompShipped
+	case st.CompressSkipped != st0.CompressSkipped:
+		return trace.CompSkipped
+	default:
+		return trace.CompNone
+	}
+}
+
+// sendMsg ships one encoded message: the vectored transport path when
+// compression produced a separate wrapper header, the plain path otherwise.
+func sendMsg(g *Gluon, h int, tag comm.Tag, hdr, payload []byte) error {
+	if hdr == nil {
+		return g.T.Send(h, tag, payload)
+	}
+	return g.T.SendVec(h, tag, hdr, payload)
+}
+
 // SyncReduce runs only the reduce pattern for f.
 func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	g.syncBegin()
@@ -203,14 +226,15 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 					t0, st0 = rec.Now(), st
 				}
 				payload, sent := encodeMsg(g, order, send.masks[h], updated, gatherReduce, sc, &st)
-				payload = g.maybeCompress(payload, &st)
+				hdr, payload := g.maybeCompress(f.ID, payload, sc, &st)
 				if tr {
 					// Byte tags are the post-compression stats deltas of this
 					// one message, so trace sums reproduce Stats exactly.
 					rec.Emit(trace.Event{Phase: trace.PhaseEncode, Start: t0, Dur: rec.Now() - t0,
 						Peer: int32(h), Field: f.ID, Lane: lane, Mode: modeDelta(&st, &st0),
 						Value: st.ValueBytes - st0.ValueBytes, Meta: st.MetadataBytes - st0.MetadataBytes,
-						GID: st.GIDBytes - st0.GIDBytes})
+						GID:  st.GIDBytes - st0.GIDBytes,
+						Comp: compDelta(&st, &st0), Saved: st.CompressionSaved - st0.CompressionSaved})
 				}
 				// Mirrors whose value was shipped return to the reduction
 				// identity, and their "changed" bit migrates to the master.
@@ -223,7 +247,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 				if tr {
 					t0 = rec.Now()
 				}
-				if err := g.T.Send(h, tag, payload); err != nil {
+				if err := sendMsg(g, h, tag, hdr, payload); err != nil {
 					return fmt.Errorf("gluon: reduce %s to host %d: %w", f.Name, h, err)
 				}
 				if tr {
@@ -235,14 +259,16 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 		})
 	}()
 
-	// Fold received mirror values into masters. Messages are received and
-	// decoded in arrival order — decompression and wire parsing overlap with
-	// waiting on slower links — but folds run in ascending host order: a
-	// master receives contributions from several peers, and order-sensitive
-	// reductions (floating-point sums) must fold them in the same sequence
-	// every run to keep later rounds' payload bytes deterministic. A message
-	// that arrives ahead of its turn is parked, decoded, in a staging slot
-	// and applied once its predecessors have been.
+	// Fold received mirror values into masters. Messages are received in
+	// arrival order but folds run in ascending host order: a master receives
+	// contributions from several peers, and order-sensitive reductions
+	// (floating-point sums) must fold them in the same sequence every run to
+	// keep later rounds' payload bytes deterministic. A message whose turn
+	// has come folds straight out of its receive buffer — wire parsing and
+	// apply are one pass, with no intermediate (lids, values) staging. A
+	// message that arrives ahead of its turn is decompressed (so the CPU
+	// work overlaps waiting on slower links) and parked as raw wire bytes;
+	// its single decode-and-fold pass runs once its predecessors are in.
 	apply := func(lid uint32, v V) {
 		if f.Reduce.Reduce(lid, v) && updated != nil {
 			updated.Set(lid)
@@ -285,14 +311,17 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 					Peer: int32(h), Field: f.ID})
 			}
 		} else {
-			st := getDecodeStage()
-			err = stageMsg[V](g, payload, recv.lists[h], st)
-			comm.PutBuf(payload)
-			if err != nil {
-				putDecodeStage(st)
-				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
+			// Out of turn: pay decompression now, park the raw wire bytes in
+			// their pooled buffer, and decode-and-fold in one pass later.
+			body, pooled, derr := maybeDecompress(payload)
+			if derr != nil {
+				comm.PutBuf(payload)
+				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, derr)
 			}
-			stages[h] = st
+			if pooled {
+				comm.PutBuf(payload)
+			}
+			stages[h] = body
 			if tr {
 				rec.Emit(trace.Event{Phase: trace.PhaseFold, Start: t0, Dur: rec.Now() - t0,
 					Peer: int32(h), Field: f.ID, Detail: "stage"})
@@ -301,13 +330,16 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 		// Whatever is now unblocked folds while later messages are in flight.
 		for applyIdx < len(recvPeers) && stages[recvPeers[applyIdx]] != nil {
 			hp := recvPeers[applyIdx]
-			st := stages[hp]
+			body := stages[hp]
 			stages[hp] = nil
 			if tr {
 				t0 = rec.Now()
 			}
-			applyStage(st, apply)
-			putDecodeStage(st)
+			derr := decodeBody(g, body, recv.lists[hp], apply)
+			comm.PutBuf(body)
+			if derr != nil {
+				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, hp, derr)
+			}
 			applyIdx++
 			if tr {
 				rec.Emit(trace.Event{Phase: trace.PhaseFold, Start: t0, Dur: rec.Now() - t0,
@@ -318,26 +350,6 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	err := <-sendErr
 	putPeerScratch(ps) // not pooled on the error returns above: senders may still hold the lists
 	return err
-}
-
-// stageMsg decodes one message into a staging slot without applying it.
-func stageMsg[V Value](g *Gluon, payload []byte, order []uint32, st *decodeStage) error {
-	st.lids = st.lids[:0]
-	vals := stageVals[V](st)
-	err := decodeMsg(g, payload, order, func(lid uint32, v V) {
-		st.lids = append(st.lids, lid)
-		vals = append(vals, v)
-	})
-	st.vals = vals
-	return err
-}
-
-// applyStage replays a staged message through apply in message order.
-func applyStage[V Value](st *decodeStage, apply func(lid uint32, v V)) {
-	vals := st.vals.([]V)
-	for i, lid := range st.lids {
-		apply(lid, vals[i])
-	}
 }
 
 // SyncBroadcast runs only the broadcast pattern for f.
@@ -391,15 +403,16 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 					t0, st0 = rec.Now(), st
 				}
 				payload, _ := encodeMsg(g, order, send.masks[h], updated, gatherBcast, sc, &st)
-				payload = g.maybeCompress(payload, &st)
+				hdr, payload := g.maybeCompress(f.ID, payload, sc, &st)
 				if tr {
 					rec.Emit(trace.Event{Phase: trace.PhaseEncode, Start: t0, Dur: rec.Now() - t0,
 						Peer: int32(h), Field: f.ID, Lane: lane, Mode: modeDelta(&st, &st0),
 						Value: st.ValueBytes - st0.ValueBytes, Meta: st.MetadataBytes - st0.MetadataBytes,
-						GID: st.GIDBytes - st0.GIDBytes})
+						GID:  st.GIDBytes - st0.GIDBytes,
+						Comp: compDelta(&st, &st0), Saved: st.CompressionSaved - st0.CompressionSaved})
 					t0 = rec.Now()
 				}
-				if err := g.T.Send(h, tag, payload); err != nil {
+				if err := sendMsg(g, h, tag, hdr, payload); err != nil {
 					return fmt.Errorf("gluon: broadcast %s to host %d: %w", f.Name, h, err)
 				}
 				if tr {

@@ -27,6 +27,12 @@ type Summary struct {
 	ValueBytes uint64 `json:"value_bytes"`
 	MetaBytes  uint64 `json:"metadata_bytes"`
 	GIDBytes   uint64 `json:"gid_bytes"`
+	// Compressed/CompressSkipped split the messages the compression stage
+	// considered (Comp tags on encode events); CompressionSaved is the wire
+	// bytes the DEFLATE wrapper removed.
+	Compressed       uint64 `json:"compressed_messages,omitempty"`
+	CompressSkipped  uint64 `json:"compress_skipped,omitempty"`
+	CompressionSaved uint64 `json:"compression_saved_bytes,omitempty"`
 
 	Rounds []RoundStat      `json:"rounds"`
 	Phases []PhaseStat      `json:"phases"`
@@ -120,6 +126,13 @@ func SummarizeMeta(meta Meta, events []Event) *Summary {
 			if e.Mode >= 0 && e.Mode < NumModes {
 				s.Modes[e.Mode]++
 			}
+			switch e.Comp {
+			case CompShipped:
+				s.Compressed++
+				s.CompressionSaved += e.Saved
+			case CompSkipped:
+				s.CompressSkipped++
+			}
 			p := peers[[2]int32{e.Host, e.Peer}]
 			if p == nil {
 				p = &PeerStat{Host: e.Host, Peer: e.Peer}
@@ -201,6 +214,10 @@ func (s *Summary) WriteTables(w io.Writer) error {
 	}
 	fmt.Fprintf(w, "totals: %d messages, %s (value %s / metadata %s / gids %s)\n",
 		s.Messages, fmtBytes(s.TotalBytes()), fmtBytes(s.ValueBytes), fmtBytes(s.MetaBytes), fmtBytes(s.GIDBytes))
+	if s.Compressed > 0 || s.CompressSkipped > 0 {
+		fmt.Fprintf(w, "compression: %d shipped compressed / %d raw, %s saved on the wire\n",
+			s.Compressed, s.CompressSkipped, fmtBytes(s.CompressionSaved))
+	}
 	if len(s.Clocks) > 0 {
 		fmt.Fprint(w, "clock offsets (applied at merge):")
 		for _, ci := range s.Clocks {

@@ -120,8 +120,41 @@ type Event struct {
 	// Mode is the wire encoding mode of a PhaseEncode event (0 empty,
 	// 1 dense, 2 bitvec, 3 indices, 4 gid-pairs); meaningless elsewhere.
 	Mode int8 `json:"mode,omitempty"`
+	// Comp is the compression outcome of a PhaseEncode event: CompNone when
+	// compression was off for the message, CompShipped when the DEFLATE
+	// wrapper went to the wire, CompSkipped when compression was enabled but
+	// the message shipped raw (below threshold, declined by the policy, or
+	// incompressible). Meaningless elsewhere.
+	Comp int8 `json:"comp,omitempty"`
+	// Saved is the wire bytes compression removed from this message (0
+	// unless Comp == CompShipped).
+	Saved uint64 `json:"saved,omitempty"`
 	// Detail is a free-form annotation (field name, fault cause).
 	Detail string `json:"detail,omitempty"`
+}
+
+// Compression outcome tags for Event.Comp.
+const (
+	// CompNone: compression was not enabled for this message.
+	CompNone int8 = 0
+	// CompShipped: the message went to the wire DEFLATE-compressed.
+	CompShipped int8 = 1
+	// CompSkipped: compression was enabled but the message shipped raw.
+	CompSkipped int8 = 2
+)
+
+// CompName names a compression outcome for tables and exports.
+func CompName(c int8) string {
+	switch c {
+	case CompNone:
+		return "off"
+	case CompShipped:
+		return "compressed"
+	case CompSkipped:
+		return "skipped"
+	default:
+		return "unknown"
+	}
 }
 
 // Bytes returns the event's total payload byte tag.
@@ -182,6 +215,9 @@ type Trace struct {
 	phaseCount [NumPhases]atomic.Uint64
 	phaseDur   [NumPhases]atomic.Int64
 	modeCount  [NumModes]atomic.Uint64
+	compressed atomic.Uint64
+	compSkip   atomic.Uint64
+	compSaved  atomic.Uint64
 }
 
 // New creates an enabled tracing session whose clock starts now.
@@ -415,6 +451,13 @@ func (r *Recorder) Emit(e Event) {
 		if e.Mode >= 0 && e.Mode < NumModes {
 			t.modeCount[e.Mode].Add(1)
 		}
+		switch e.Comp {
+		case CompShipped:
+			t.compressed.Add(1)
+			t.compSaved.Add(e.Saved)
+		case CompSkipped:
+			t.compSkip.Add(1)
+		}
 	}
 	for {
 		cur := t.maxRound.Load()
@@ -555,16 +598,21 @@ type PhaseLive struct {
 // periodic stderr summary: cheap atomic counters updated on every Emit,
 // readable without touching the rings.
 type LiveStats struct {
-	Label      string               `json:"label,omitempty"`
-	Events     uint64               `json:"events"`
-	Dropped    uint64               `json:"dropped"`
-	MaxRound   int32                `json:"max_round"`
-	Messages   uint64               `json:"messages"`
-	ValueBytes uint64               `json:"value_bytes"`
-	MetaBytes  uint64               `json:"metadata_bytes"`
-	GIDBytes   uint64               `json:"gid_bytes"`
-	Phases     map[string]PhaseLive `json:"phases"`
-	Modes      map[string]uint64    `json:"modes"`
+	Label      string `json:"label,omitempty"`
+	Events     uint64 `json:"events"`
+	Dropped    uint64 `json:"dropped"`
+	MaxRound   int32  `json:"max_round"`
+	Messages   uint64 `json:"messages"`
+	ValueBytes uint64 `json:"value_bytes"`
+	MetaBytes  uint64 `json:"metadata_bytes"`
+	GIDBytes   uint64 `json:"gid_bytes"`
+	// Compressed/CompressSkipped split the messages compression considered;
+	// CompressionSaved is the wire bytes the DEFLATE wrapper removed.
+	Compressed       uint64               `json:"compressed_messages"`
+	CompressSkipped  uint64               `json:"compress_skipped"`
+	CompressionSaved uint64               `json:"compression_saved_bytes"`
+	Phases           map[string]PhaseLive `json:"phases"`
+	Modes            map[string]uint64    `json:"modes"`
 }
 
 // TotalBytes returns the live payload byte total.
@@ -576,16 +624,19 @@ func (t *Trace) Live() LiveStats {
 		return LiveStats{Phases: map[string]PhaseLive{}, Modes: map[string]uint64{}}
 	}
 	s := LiveStats{
-		Label:      t.cfg.Label,
-		Events:     t.events.Load(),
-		Dropped:    t.Dropped(),
-		MaxRound:   t.maxRound.Load(),
-		Messages:   t.phaseCount[PhaseEncode].Load(),
-		ValueBytes: t.value.Load(),
-		MetaBytes:  t.meta.Load(),
-		GIDBytes:   t.gid.Load(),
-		Phases:     make(map[string]PhaseLive, NumPhases),
-		Modes:      make(map[string]uint64, NumModes),
+		Label:            t.cfg.Label,
+		Events:           t.events.Load(),
+		Dropped:          t.Dropped(),
+		MaxRound:         t.maxRound.Load(),
+		Messages:         t.phaseCount[PhaseEncode].Load(),
+		ValueBytes:       t.value.Load(),
+		MetaBytes:        t.meta.Load(),
+		GIDBytes:         t.gid.Load(),
+		Compressed:       t.compressed.Load(),
+		CompressSkipped:  t.compSkip.Load(),
+		CompressionSaved: t.compSaved.Load(),
+		Phases:           make(map[string]PhaseLive, NumPhases),
+		Modes:            make(map[string]uint64, NumModes),
 	}
 	for p := Phase(0); p < NumPhases; p++ {
 		if c := t.phaseCount[p].Load(); c > 0 {
