@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-fault bench sync-bench trace-guard trace-smoke watchdog-smoke
+.PHONY: check fmt vet build test race race-fault restore-gate bench sync-bench trace-guard trace-smoke watchdog-smoke
 
 # trace-guard runs before the race gates: it measures wall time, and the
 # race suites leave the machine hot enough to skew it.
-check: fmt vet build trace-guard trace-smoke watchdog-smoke race-fault race
+check: fmt vet build trace-guard trace-smoke watchdog-smoke race-fault restore-gate race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -33,6 +33,15 @@ race:
 # detector, uncached, on every check (DESIGN.md §4.2).
 race-fault:
 	$(GO) test -race -count=1 ./internal/comm/... ./internal/dsys/...
+
+# Survivability gate: the crash matrix (a rank killed at every round
+# boundary and mid-sync of a 3-host pr run, restored from checkpoint, with
+# results pinned byte-identical to the fault-free golden), the live TCP
+# kill/replace rejoin, and the buffer-pool leak audit under injected faults
+# — all under the race detector, uncached (DESIGN.md §4.6).
+restore-gate:
+	$(GO) test -race -count=1 -run 'TestCrashMatrix|TestRejoinTCP|TestRestoreRequiresCheckpointable|TestPoolBalanceUnderFaults' ./internal/dsys/
+	$(GO) test -race -count=1 ./internal/ckpt/
 
 # Sync hot-path microbenchmark (BenchmarkSyncHotPath) straight from go test.
 bench:

@@ -16,6 +16,7 @@ import (
 
 	"gluon"
 	"gluon/internal/autotune"
+	"gluon/internal/ckpt"
 	"gluon/internal/gemini"
 	"gluon/internal/gio"
 	"gluon/internal/trace"
@@ -47,6 +48,11 @@ func main() {
 		pprofAddr    = flag.String("pprof-addr", "", "serve /debug/pprof/ at this address with sync phases labeled in CPU profiles")
 		watchdog     = flag.Bool("watchdog", false, "run the straggler/stall watchdog (reports to stderr)")
 		wdStall      = flag.Duration("watchdog-stall", 0, "escalate a flagged stall to a cluster failure after this long (0 = warn only)")
+
+		ckptDir   = flag.String("ckpt-dir", "", "write periodic per-host checkpoints under this directory (requires a checkpointable benchmark)")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N rounds (0 = ckpt package default)")
+		ckptKeep  = flag.Int("ckpt-keep", 0, "retain the last K checkpoint epochs per host (0 = ckpt package default)")
+		restore   = flag.Bool("restore", false, "resume from the newest complete checkpoint in -ckpt-dir instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -194,6 +200,12 @@ func main() {
 	if *watchdog || *wdStall > 0 {
 		wcfg = &trace.WatchdogConfig{StallTimeout: *wdStall}
 	}
+	var ckptOpts *ckpt.Options
+	if *ckptDir != "" {
+		ckptOpts = &ckpt.Options{Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep}
+	} else if *restore {
+		fatal(fmt.Errorf("-restore requires -ckpt-dir"))
+	}
 	res, err := gluon.Run(numNodes, edges, gluon.RunConfig{
 		Hosts:         *hosts,
 		Policy:        chosen,
@@ -202,6 +214,8 @@ func main() {
 		MaxRounds:     maxRounds,
 		Trace:         tr,
 		Watchdog:      wcfg,
+		Checkpoint:    ckptOpts,
+		Restore:       *restore,
 	}, factory)
 	if err != nil {
 		fatal(err)

@@ -36,8 +36,11 @@ import (
 
 	"gluon"
 	"gluon/internal/algorithms/sssp"
+	"gluon/internal/bitset"
+	"gluon/internal/ckpt"
 	"gluon/internal/comm"
 	"gluon/internal/dsys"
+	igluon "gluon/internal/gluon"
 	"gluon/internal/partition"
 	"gluon/internal/ref"
 	"gluon/internal/trace"
@@ -52,6 +55,14 @@ func main() {
 		watchdog = flag.Bool("watchdog", false, "run the straggler watchdog over heartbeat gossip")
 		wdStall  = flag.Duration("watchdog-stall", 0, "escalate a flagged stall to a cluster failure after this long")
 		scale    = flag.Uint("scale", 13, "generated graph has 2^scale nodes")
+
+		ckptDir   = flag.String("ckpt-dir", "", "write periodic per-host checkpoints under this directory (multi-process mode)")
+		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N rounds (0 = ckpt package default)")
+		ckptKeep  = flag.Int("ckpt-keep", 0, "retain the last K checkpoint epochs per host (0 = ckpt package default)")
+		restore   = flag.Bool("restore", false, "start as a replacement: load the newest checkpoint from -ckpt-dir and rejoin the live mesh")
+		cold      = flag.Bool("cold-restore", false, "with -restore: the whole cluster is restarting together, so form a fresh mesh instead of dialing into a live one")
+		rejoin    = flag.Bool("rejoin", false, "survive peer death: roll back to the newest checkpoint and wait for a replacement instead of failing")
+		delay     = flag.Duration("round-delay", 0, "sleep this long per round (demo aid: widens the window for killing a rank mid-run)")
 	)
 	flag.Parse()
 
@@ -103,15 +114,42 @@ func main() {
 		wcfg = &trace.WatchdogConfig{StallTimeout: *wdStall}
 	}
 
+	var ckptOpts *ckpt.Options
+	if *ckptDir != "" {
+		ckptOpts = &ckpt.Options{Dir: *ckptDir, Every: *ckptEvery, Keep: *ckptKeep}
+	} else if *restore || *rejoin {
+		log.Fatal("-restore and -rejoin require -ckpt-dir")
+	}
+
 	if *host >= 0 {
-		runOneHost(*host, addrs, parts, csr, source, wcfg, *collect, *traceOut)
+		runOneHost(*host, addrs, parts, csr, source, wcfg, *collect, *traceOut, ckptOpts, *restore, *cold, *rejoin, *delay)
 		return
 	}
 	runDemo(addrs, parts, csr, source, wcfg, *collect, *traceOut)
 }
 
+// slowProgram wraps a checkpointable program with a fixed per-round sleep,
+// so a human running the kill/replace recipe has time to kill a rank.
+type slowProgram struct {
+	dsys.Program
+	delay time.Duration
+}
+
+func (s *slowProgram) Round(f *bitset.Bitset) (*bitset.Bitset, error) {
+	time.Sleep(s.delay)
+	return s.Program.Round(f)
+}
+
+func (s *slowProgram) ExportState() ([]ckpt.Section, error) {
+	return s.Program.(dsys.Checkpointable).ExportState()
+}
+
+func (s *slowProgram) ImportState(secs []ckpt.Section) error {
+	return s.Program.(dsys.Checkpointable).ImportState(secs)
+}
+
 // runOneHost is multi-process mode: this process drives exactly one rank.
-func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut string) {
+func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut string, ckptOpts *ckpt.Options, restore, cold, rejoin bool, delay time.Duration) {
 	if host >= len(addrs) {
 		log.Fatalf("-host %d out of range for %d addrs", host, len(addrs))
 	}
@@ -124,8 +162,19 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 	}
 
 	// Rendezvous with the other processes. The dial is bounded: a rank that
-	// never launches fails the mesh with an error naming it.
-	ep, err := comm.DialTCPConfig(host, addrs, comm.DialConfig{Timeout: 30 * time.Second})
+	// never launches fails the mesh with an error naming it. A replacement
+	// host (-restore) instead dials into the already-established mesh with
+	// the rejoin handshake; the survivors hold at the checkpoint rendezvous
+	// until it arrives. A whole-cluster cold restart (-restore -cold-restore
+	// on every rank) forms a fresh mesh the normal way and restores from
+	// checkpoint once it is up.
+	var ep *comm.TCPEndpoint
+	var err error
+	if restore && !cold {
+		ep, err = comm.RejoinTCP(host, addrs, comm.DialConfig{Timeout: 30 * time.Second})
+	} else {
+		ep, err = comm.DialTCPConfig(host, addrs, comm.DialConfig{Timeout: 30 * time.Second})
+	}
 	if err != nil {
 		log.Fatal(prefix, err)
 	}
@@ -151,7 +200,16 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 		CollectValues: true,
 		Trace:         tr,
 		Watchdog:      wcfg,
-	}, sssp.NewGalois(uint64(source), 0))
+		Checkpoint:    ckptOpts,
+		Restore:       restore,
+		Rejoin:        rejoin,
+	}, func(p *partition.Partition, g *igluon.Gluon) (dsys.Program, error) {
+		prog, err := sssp.NewGalois(uint64(source), 0)(p, g)
+		if err != nil || delay <= 0 {
+			return prog, err
+		}
+		return &slowProgram{Program: prog, delay: delay}, nil
+	})
 	if err != nil {
 		var pe *comm.PeerError
 		if errors.As(err, &pe) {

@@ -18,9 +18,11 @@
 package pr
 
 import (
+	"fmt"
 	"math"
 
 	"gluon/internal/bitset"
+	"gluon/internal/ckpt"
 	"gluon/internal/dsys"
 	"gluon/internal/engine/galois"
 	"gluon/internal/engine/irgl"
@@ -97,6 +99,47 @@ func newCommon(p *partition.Partition, g *gluon.Gluon, tol float64) *common {
 
 // Name implements dsys.Program.
 func (c *common) Name() string { return "pr" }
+
+// Checkpoint section names for the three synchronized fields.
+const (
+	secRank    = "pr-rank"
+	secContrib = "pr-contrib"
+	secOutdeg  = "pr-outdeg"
+)
+
+// ExportState implements dsys.Checkpointable: copies of the three field
+// arrays, so the checkpoint writer can drain them while rounds continue.
+func (c *common) ExportState() ([]ckpt.Section, error) {
+	return []ckpt.Section{
+		{Name: secRank, Data: fields.EncodeF64s(nil, c.rank)},
+		{Name: secContrib, Data: fields.EncodeF64s(nil, c.contrib)},
+		{Name: secOutdeg, Data: fields.EncodeU64s(nil, c.outdeg)},
+	}, nil
+}
+
+// ImportState implements dsys.Checkpointable. Decoding is in place — into
+// the same arrays the gluon.Field accessors (and the IrGL device buffers)
+// alias — so every engine variant observes the restored values.
+func (c *common) ImportState(secs []ckpt.Section) error {
+	snap := &ckpt.Snapshot{Sections: secs}
+	for _, s := range []struct {
+		name string
+		dec  func([]byte) error
+	}{
+		{secRank, func(b []byte) error { return fields.DecodeF64s(b, c.rank) }},
+		{secContrib, func(b []byte) error { return fields.DecodeF64s(b, c.contrib) }},
+		{secOutdeg, func(b []byte) error { return fields.DecodeU64s(b, c.outdeg) }},
+	} {
+		data := snap.Section(s.name)
+		if data == nil {
+			return fmt.Errorf("pr: checkpoint has no %s section", s.name)
+		}
+		if err := s.dec(data); err != nil {
+			return fmt.Errorf("pr: checkpoint section %s: %w", s.name, err)
+		}
+	}
+	return nil
+}
 
 // Init computes global out-degrees with a one-time field sync and seeds
 // every proxy's rank with the teleport mass.

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"gluon/internal/bitset"
+	"gluon/internal/ckpt"
 	"gluon/internal/dsys"
 	"gluon/internal/engine/galois"
 	"gluon/internal/engine/irgl"
@@ -54,6 +55,31 @@ func newCommon(p *partition.Partition, g *gluon.Gluon, source uint64) (*common, 
 
 // Name implements dsys.Program.
 func (c *common) Name() string { return "sssp" }
+
+// secDist names the checkpoint section holding the distance labels.
+const secDist = "sssp-dist"
+
+// ExportState implements dsys.Checkpointable. The distance field is the
+// program's entire round-boundary state (worklists are rebuilt from the
+// runner's checkpointed frontier).
+func (c *common) ExportState() ([]ckpt.Section, error) {
+	return []ckpt.Section{{Name: secDist, Data: fields.EncodeU32s(nil, c.dist)}}, nil
+}
+
+// ImportState implements dsys.Checkpointable, decoding in place so the
+// IrGL variant's device buffer (which c.dist aliases) sees the restored
+// labels.
+func (c *common) ImportState(secs []ckpt.Section) error {
+	snap := ckpt.Snapshot{Sections: secs}
+	data := snap.Section(secDist)
+	if data == nil {
+		return fmt.Errorf("sssp: checkpoint has no %s section", secDist)
+	}
+	if err := fields.DecodeU32s(data, c.dist); err != nil {
+		return fmt.Errorf("sssp: restore %s: %w", secDist, err)
+	}
+	return nil
+}
 
 // Init implements dsys.Program.
 func (c *common) Init() (*bitset.Bitset, error) {

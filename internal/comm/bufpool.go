@@ -10,7 +10,34 @@ package comm
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
+
+// Pool accounting pins the ownership contract in tests: with accounting on,
+// every GetBuf increments gets and every PutBuf of a non-nil buffer
+// increments puts, regardless of whether the buffer is actually pooled.
+// A fault suite that ends with gets != puts has leaked (or double-freed) a
+// payload on some error path. Off by default: two relaxed atomic adds are
+// cheap but not free, and the hot path stays untouched when disabled.
+var (
+	poolAccounting atomic.Bool
+	poolGets       atomic.Int64
+	poolPuts       atomic.Int64
+)
+
+// SetPoolAccounting enables or disables get/put accounting, resetting the
+// counters either way.
+func SetPoolAccounting(on bool) {
+	poolGets.Store(0)
+	poolPuts.Store(0)
+	poolAccounting.Store(on)
+}
+
+// PoolCounters returns the gets and puts recorded since accounting was
+// last enabled.
+func PoolCounters() (gets, puts int64) {
+	return poolGets.Load(), poolPuts.Load()
+}
 
 const (
 	// minBufClass is the smallest pooled class, 1<<minBufClass bytes.
@@ -29,6 +56,9 @@ func GetBuf(n int) []byte {
 	if n <= 0 {
 		return nil
 	}
+	if poolAccounting.Load() {
+		poolGets.Add(1)
+	}
 	class := bufClass(n)
 	if class > maxBufClass {
 		return make([]byte, n)
@@ -42,6 +72,12 @@ func GetBuf(n int) []byte {
 // PutBuf returns a buffer to the pool. Callers must not touch the slice (or
 // any alias of it) afterwards. Nil, tiny, and oversized buffers are dropped.
 func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	if poolAccounting.Load() {
+		poolPuts.Add(1)
+	}
 	c := cap(b)
 	if c < 1<<minBufClass {
 		return

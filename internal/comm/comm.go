@@ -108,8 +108,35 @@ const (
 	// rides the data transport but never blocks a sync: heartbeats are
 	// fire-and-forget and drained by a dedicated goroutine per host.
 	TagHeartbeat Tag = 0xFFFF0006
-	TagUser      Tag = 0x00010000 // first tag available to applications
+	// TagRejoin carries the checkpoint/restore rendezvous (HOLD/RESUME
+	// frames, see dsys and DESIGN.md §4.6). It is exempt from poison
+	// fail-fast: a receive on TagRejoin keeps waiting even for a peer that
+	// has been declared dead, because the whole point of the rendezvous is
+	// to wait for that peer's replacement to dial back in.
+	TagRejoin Tag = 0xFFFF0007
+	TagUser   Tag = 0x00010000 // first tag available to applications
 )
+
+// ErrRejoinHold is the poison cause installed when a peer announces a
+// checkpoint-rollback rendezvous (a HOLD frame on TagRejoin). It is
+// curable: receivers unblocked by it should enter the rendezvous rather
+// than escalate, and FlushAndCure clears it once the mesh re-forms.
+var ErrRejoinHold = errors.New("comm: peer holding for checkpoint rejoin")
+
+// Rejoiner is implemented by transports that support the checkpoint
+// rendezvous: FlushAndCure drops every undelivered in-flight message on
+// data tags (their rounds are being rolled back; buffers are released to
+// the pool) while preserving queued TagRejoin frames, and clears all
+// peer poisons so the re-formed mesh is usable again. ConnGeneration
+// reports how many times the link to a peer has been replaced by a
+// rejoining replacement host — the rendezvous re-sends its HOLD when the
+// generation moved under a send, because a frame written to a dying
+// connection can be silently swallowed without a send error. Transports
+// whose links cannot be replaced return a constant.
+type Rejoiner interface {
+	FlushAndCure()
+	ConnGeneration(peer int) int
+}
 
 // Transport is a reliable, ordered (per sender/tag pair) point-to-point
 // message layer between NumHosts hosts.
@@ -228,6 +255,14 @@ func (m *mailbox) put(from int, tag Tag, payload []byte) {
 
 func (m *mailbox) putAt(from int, tag Tag, payload []byte, readyAt time.Time) {
 	m.mu.Lock()
+	if m.closed {
+		// close() already drained the queues and every get fails with
+		// ErrClosed, so an entry enqueued now is unreachable: a sender
+		// racing a teardown must release the payload, not strand it.
+		m.mu.Unlock()
+		PutBuf(payload)
+		return
+	}
 	k := mailKey{from, tag}
 	m.queues[k] = append(m.queues[k], mailEntry{payload: payload, readyAt: readyAt})
 	m.mu.Unlock()
@@ -300,10 +335,13 @@ func (m *mailbox) get(from int, tag Tag) ([]byte, error) {
 			return e.payload, nil
 		}
 		// Nothing queued from this peer: fail fast if it is dead rather
-		// than block on a message that can never arrive.
-		if err := m.peerErr(from); err != nil {
-			m.mu.Unlock()
-			return nil, err
+		// than block on a message that can never arrive. TagRejoin is
+		// exempt — the rendezvous waits out the poison for a replacement.
+		if tag != TagRejoin {
+			if err := m.peerErr(from); err != nil {
+				m.mu.Unlock()
+				return nil, err
+			}
 		}
 		if m.closed {
 			m.mu.Unlock()
@@ -370,7 +408,8 @@ func (m *mailbox) getAny(tag Tag, peers []int) (int, []byte, error) {
 		// No deliverable message among the candidates. If any candidate
 		// peer is dead the wait can never be satisfied by it — fail loudly
 		// now instead of gambling that the live peers cover the caller.
-		if m.dead != nil {
+		// TagRejoin is exempt (see get).
+		if m.dead != nil && tag != TagRejoin {
 			if peers == nil {
 				for p := range m.dead {
 					err := m.peerErr(p)
@@ -397,6 +436,37 @@ func (m *mailbox) getAny(tag Tag, peers []int) (int, []byte, error) {
 func (m *mailbox) close() {
 	m.mu.Lock()
 	m.closed = true
+	// Queued messages are unreachable after close (get returns ErrClosed),
+	// so release their buffers back to the pool instead of leaking them —
+	// this is what keeps gets == puts across fault suites that tear a
+	// cluster down mid-conversation.
+	for k, q := range m.queues {
+		for _, e := range q {
+			PutBuf(e.payload)
+		}
+		delete(m.queues, k)
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// flushAndCure implements Rejoiner for mailbox-backed transports: every
+// queued message on a non-rejoin tag is dropped (released to the pool) and
+// every peer poison is cleared. Called only from inside the rendezvous,
+// after HOLD frames from all peers prove no stale pre-rollback data can
+// still be in flight behind them (per-(sender, tag) FIFO).
+func (m *mailbox) flushAndCure() {
+	m.mu.Lock()
+	for k, q := range m.queues {
+		if k.tag == TagRejoin {
+			continue
+		}
+		for _, e := range q {
+			PutBuf(e.payload)
+		}
+		delete(m.queues, k)
+	}
+	m.dead = nil
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -505,6 +575,13 @@ func AllGather(t Transport, payload []byte) ([][]byte, error) {
 		}
 		p, err := t.Recv(h, TagAllGather)
 		if err != nil {
+			// Release the payloads already gathered (own slice excluded: it
+			// is caller-owned) so a mid-collective failure doesn't leak them.
+			for i := 0; i < h; i++ {
+				if i != me {
+					PutBuf(out[i])
+				}
+			}
 			return nil, err
 		}
 		out[h] = p

@@ -250,6 +250,22 @@ func (f *FaultTransport) FailPeer(host int, err error) {
 	f.failPeerInner(host, err)
 }
 
+// FlushAndCure implements Rejoiner by delegation, so a checkpoint
+// rendezvous works through injected-fault wrappers.
+func (f *FaultTransport) FlushAndCure() {
+	if rj, ok := f.inner.(Rejoiner); ok {
+		rj.FlushAndCure()
+	}
+}
+
+// ConnGeneration implements Rejoiner by delegation.
+func (f *FaultTransport) ConnGeneration(peer int) int {
+	if rj, ok := f.inner.(Rejoiner); ok {
+		return rj.ConnGeneration(peer)
+	}
+	return 0
+}
+
 // Stats implements Transport.
 func (f *FaultTransport) Stats() Stats { return f.inner.Stats() }
 

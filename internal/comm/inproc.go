@@ -94,6 +94,9 @@ func (e *inprocEndpoint) NumHosts() int { return len(e.hub.endpoints) }
 
 func (e *inprocEndpoint) Send(to int, tag Tag, payload []byte) error {
 	if to < 0 || to >= len(e.hub.endpoints) {
+		// The payload transferred to the transport at the call boundary, so
+		// even a rejected send must release it (ownership contract).
+		PutBuf(payload)
 		return fmt.Errorf("comm: send to host %d of %d", to, len(e.hub.endpoints))
 	}
 	if len(payload) > MaxFrameSize {
@@ -160,6 +163,16 @@ func (e *inprocEndpoint) FailPeer(host int, err error) {
 	traceFaultf(e.rec(), host, "peer declared dead: %v", err)
 	e.mbox.poison(host, err)
 }
+
+// FlushAndCure implements Rejoiner (see the interface in comm.go): the
+// checkpoint rendezvous uses it to drop rolled-back in-flight data and
+// clear peer poisons once every host has announced HOLD.
+func (e *inprocEndpoint) FlushAndCure() {
+	e.mbox.flushAndCure()
+}
+
+// ConnGeneration implements Rejoiner: in-process links are never replaced.
+func (e *inprocEndpoint) ConnGeneration(int) int { return 0 }
 
 func (e *inprocEndpoint) Close() error {
 	e.mbox.close()

@@ -55,6 +55,7 @@ func (e *TCPEndpoint) poison(from int, err error) {
 type tcpConn struct {
 	mu     sync.Mutex
 	conn   net.Conn // nil until the mesh handshake installs it
+	gen    int      // bumped when acceptRejoins replaces conn (see ConnGeneration)
 	hdr    [tcpHeaderLen]byte
 	vecArr [3][]byte // frame header + optional caller header + payload
 	vec    net.Buffers
@@ -193,6 +194,11 @@ func DialTCPConfig(id int, addrs []string, cfg DialConfig) (*TCPEndpoint, error)
 		e.wg.Add(1)
 		go e.readLoop(i, c.conn)
 	}
+	// The listener stays open for the life of the endpoint: replacement
+	// hosts for a dead rank dial back in with the rejoin handshake
+	// (DESIGN.md §4.6) and are accepted here.
+	e.wg.Add(1)
+	go e.acceptRejoins()
 	return e, nil
 }
 
@@ -232,7 +238,7 @@ func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 	hdr := make([]byte, tcpHeaderLen)
 	for {
 		if _, err := io.ReadFull(conn, hdr); err != nil {
-			if !e.closed.Load() {
+			if !e.closed.Load() && e.connCurrent(from, conn) {
 				e.poison(from, fmt.Errorf("connection lost: %w", err))
 			}
 			return
@@ -250,16 +256,37 @@ func (e *TCPEndpoint) readLoop(from int, conn net.Conn) {
 		payload := GetBuf(int(length))
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			PutBuf(payload)
-			if !e.closed.Load() {
+			if !e.closed.Load() && e.connCurrent(from, conn) {
 				e.poison(from, fmt.Errorf("truncated frame (wanted %d payload bytes): %w", length, err))
 			}
 			return
 		}
+		// A HOLD frame doubles as a curable poison: every receive blocked on
+		// this peer's data tags unblocks with ErrRejoinHold and the layer
+		// above routes into the rendezvous instead of escalating. The kind
+		// byte is inspected before the enqueue — after mbox.put the receiver
+		// owns the buffer.
+		hold := tag == TagRejoin && length == rejoinFrameLen && payload[0] == RejoinHold
 		e.ctr.msgsRecvd.Add(1)
 		e.ctr.bytesRecvd.Add(uint64(length))
 		e.mbox.put(from, tag, payload)
+		if hold {
+			e.poison(from, ErrRejoinHold)
+		}
 		traceFrame(e.rec(), trace.PhaseFrameRecv, from, tag, int(length))
 	}
+}
+
+// connCurrent reports whether conn is still the installed link for the
+// peer. A read loop whose connection was superseded by a replacement
+// (acceptRejoins) must exit without poisoning: the poison may have already
+// been cured by the rendezvous, and re-poisoning would wedge the cluster.
+func (e *TCPEndpoint) connCurrent(from int, conn net.Conn) bool {
+	c := e.conns[from]
+	c.mu.Lock()
+	cur := c.conn
+	c.mu.Unlock()
+	return cur == conn
 }
 
 // HostID implements Transport.

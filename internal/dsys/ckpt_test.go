@@ -1,0 +1,429 @@
+package dsys_test
+
+// Survivability suite: the crash matrix (satellite of ISSUE 7's tentpole).
+// A 3-host PageRank run is killed at every round boundary — and mid-sync
+// through FaultTransport — then restored from checkpoint; the restored
+// run's converged values must be byte-identical to the fault-free golden.
+// A TCP variant kills one rank for real (transport close, like kill -9 as
+// seen from the peers) and rejoins a replacement process into the held
+// survivors. The buffer-accounting test pins gets == puts across the
+// injected-fault scenarios, and the self-poison regression pins that a
+// failing host unblocks its OWN parked receivers, not just its peers'.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gluon/internal/algorithms/pr"
+	"gluon/internal/bitset"
+	"gluon/internal/ckpt"
+	"gluon/internal/comm"
+	"gluon/internal/dsys"
+	"gluon/internal/gluon"
+	"gluon/internal/partition"
+)
+
+const (
+	cmHosts     = 3
+	cmMaxRounds = 8
+	cmTol       = 1e-9 // never converges within cmMaxRounds: fixed round count
+)
+
+var errInjectedCrash = errors.New("injected crash at round boundary")
+
+// crashAt wraps a Program so one host's Round fails at a chosen round,
+// delegating checkpointing to the inner program.
+type crashAt struct {
+	dsys.Program
+	at    int
+	round int
+}
+
+func (f *crashAt) Round(frontier *bitset.Bitset) (*bitset.Bitset, error) {
+	if f.round == f.at {
+		return nil, fmt.Errorf("%w %d", errInjectedCrash, f.at)
+	}
+	f.round++
+	return f.Program.Round(frontier)
+}
+
+func (f *crashAt) ExportState() ([]ckpt.Section, error) {
+	return f.Program.(dsys.Checkpointable).ExportState()
+}
+
+func (f *crashAt) ImportState(secs []ckpt.Section) error {
+	return f.Program.(dsys.Checkpointable).ImportState(secs)
+}
+
+// crashFactory injects crashAt on one host.
+func crashFactory(inner dsys.ProgramFactory, host, at int) dsys.ProgramFactory {
+	return func(p *partition.Partition, g *gluon.Gluon) (dsys.Program, error) {
+		prog, err := inner(p, g)
+		if err != nil || p.HostID != host {
+			return prog, err
+		}
+		return &crashAt{Program: prog, at: at}, nil
+	}
+}
+
+// cmParts partitions the crash-matrix graph.
+func cmParts(t *testing.T) (uint64, []*partition.Partition) {
+	t.Helper()
+	numNodes, edges, g := testGraph(t, 6, false)
+	pol, err := partition.NewPolicy(partition.CVC, numNodes, cmHosts, policyOptions(numNodes, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := partition.PartitionAll(numNodes, edges, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return numNodes, parts
+}
+
+func cmConfig(dir string) dsys.RunConfig {
+	return dsys.RunConfig{
+		Hosts: cmHosts, Policy: partition.CVC, Opt: gluon.Opt(),
+		CollectValues: true, MaxRounds: cmMaxRounds,
+		Checkpoint: &ckpt.Options{Dir: dir, Every: 2, Keep: 3},
+	}
+}
+
+// cmGolden computes the fault-free reference values (checkpointing on, so
+// the golden also proves checkpointing itself does not perturb results).
+func cmGolden(t *testing.T) []float64 {
+	t.Helper()
+	_, parts := cmParts(t)
+	hub := comm.NewHub(cmHosts)
+	defer hub.Close()
+	res, err := dsys.RunWithTransports(parts, hub.Endpoints(), cmConfig(t.TempDir()), pr.NewGalois(cmTol, 2))
+	if err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	return res.Values
+}
+
+// mustMatchGolden asserts exact (bit-identical) equality — restored runs
+// replay the same deterministic rounds, so there is no tolerance.
+func mustMatchGolden(t *testing.T, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d: restored run yields %v, fault-free run %v (must be byte-identical)",
+				i, got[i], want[i])
+		}
+	}
+}
+
+// crashThenRestore runs the job with the given fault injection until it
+// fails, then cold-restores the cluster from the shared checkpoint
+// directory and returns the recovered values.
+func crashThenRestore(t *testing.T, dir string, mkTransports func() []comm.Transport, faulty dsys.ProgramFactory) []float64 {
+	t.Helper()
+	_, parts := cmParts(t)
+	ts := mkTransports()
+	_, err := dsys.RunWithTransports(parts, ts, cmConfig(dir), faulty)
+	if err == nil {
+		t.Fatal("faulted run succeeded; the fault never fired")
+	}
+	for _, tr := range ts {
+		tr.Close()
+	}
+
+	_, parts = cmParts(t)
+	cfg := cmConfig(dir)
+	cfg.Restore = true
+	ts = mkTransports()
+	defer func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+	res, rerr := dsys.RunWithTransports(parts, ts, cfg, pr.NewGalois(cmTol, 2))
+	if rerr != nil {
+		t.Fatalf("restore run: %v", rerr)
+	}
+	return res.Values
+}
+
+// TestCrashMatrix kills host 1 at every round boundary of the run, then at
+// several mid-sync points (FaultTransport severs the wire while field data
+// is in flight), restoring from checkpoint each time.
+func TestCrashMatrix(t *testing.T) {
+	golden := cmGolden(t)
+	inner := pr.NewGalois(cmTol, 2)
+
+	for at := 0; at < cmMaxRounds; at++ {
+		t.Run(fmt.Sprintf("round-%d", at), func(t *testing.T) {
+			var hubs []*comm.Hub
+			mk := func() []comm.Transport {
+				h := comm.NewHub(cmHosts)
+				hubs = append(hubs, h)
+				return h.Endpoints()
+			}
+			defer func() {
+				for _, h := range hubs {
+					h.Close()
+				}
+			}()
+			got := crashThenRestore(t, t.TempDir(), mk, crashFactory(inner, 1, at))
+			mustMatchGolden(t, got, golden)
+		})
+	}
+
+	// Mid-sync: the wire from host 1 to host 0 dies after N frames, well
+	// inside a field sync (after the mesh, barrier, Init sync, and the
+	// epoch-0 token have used the link).
+	for _, kills := range []int{10, 14, 20} {
+		t.Run(fmt.Sprintf("midsync-%d", kills), func(t *testing.T) {
+			var hubs []*comm.Hub
+			first := true
+			mk := func() []comm.Transport {
+				h := comm.NewHub(cmHosts)
+				hubs = append(hubs, h)
+				ts := h.Endpoints()
+				if first {
+					first = false
+					ts[1] = comm.NewFaultTransport(ts[1], comm.FaultConfig{KillAfterSends: kills, KillPeer: 0})
+				}
+				return ts
+			}
+			defer func() {
+				for _, h := range hubs {
+					h.Close()
+				}
+			}()
+			got := crashThenRestore(t, t.TempDir(), mk, inner)
+			mustMatchGolden(t, got, golden)
+		})
+	}
+}
+
+// TestRestoreRequiresCheckpointable: enabling checkpointing for a program
+// that cannot export state must fail up front, not at the first epoch.
+func TestRestoreRequiresCheckpointable(t *testing.T) {
+	_, parts := cmParts(t)
+	hub := comm.NewHub(cmHosts)
+	defer hub.Close()
+	cfg := cmConfig(t.TempDir())
+	// bfs programs predate the Checkpointable interface.
+	_, err := dsys.RunWithTransports(parts, hub.Endpoints(), cfg, func(p *partition.Partition, g *gluon.Gluon) (dsys.Program, error) {
+		prog, err := pr.NewGalois(cmTol, 2)(p, g)
+		if err != nil {
+			return nil, err
+		}
+		return struct{ dsys.Program }{prog}, nil // strips Checkpointable
+	})
+	if err == nil {
+		t.Fatal("checkpointing a non-Checkpointable program succeeded")
+	}
+}
+
+// TestRejoinTCP is the kill/replace scenario over real sockets: one rank
+// dies mid-run (its process-side transport closes, as peers of a kill -9
+// observe), the survivors hold at the rejoin rendezvous, and a replacement
+// process dials back into the mesh, restores from the dead rank's
+// checkpoints, and the cluster finishes with byte-identical results.
+func TestRejoinTCP(t *testing.T) {
+	golden := cmGolden(t)
+	_, parts := cmParts(t)
+	dir := t.TempDir()
+
+	const basePort = 43550
+	addrs := make([]string, cmHosts)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("127.0.0.1:%d", basePort+i)
+	}
+	eps := make([]comm.Transport, cmHosts)
+	var dialWG sync.WaitGroup
+	for i := 0; i < cmHosts; i++ {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			ep, err := comm.DialTCPConfig(i, addrs, comm.DialConfig{Timeout: 10 * time.Second})
+			if err != nil {
+				t.Errorf("dial %d: %v", i, err)
+				return
+			}
+			eps[i] = ep
+		}(i)
+	}
+	dialWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	cfg := cmConfig(dir)
+	cfg.Rejoin = true
+	cfg.RejoinTimeout = 60 * time.Second
+
+	inner := pr.NewGalois(cmTol, 2)
+	type outcome struct {
+		host int
+		res  *dsys.Result
+		err  error
+	}
+	results := make(chan outcome, cmHosts+1)
+	for h := 0; h < cmHosts; h++ {
+		factory := inner
+		if h == 1 {
+			factory = crashFactory(inner, 1, 3) // victim dies at round 3
+		}
+		go func(h int, f dsys.ProgramFactory) {
+			res, err := dsys.RunSingle(parts[h], eps[h], cfg, f)
+			results <- outcome{h, res, err}
+		}(h, factory)
+	}
+
+	// Wait for the victim's death (RunSingle closes its transport, so the
+	// survivors' links to rank 1 break exactly as they would on kill -9).
+	select {
+	case o := <-results:
+		if o.host != 1 || o.err == nil {
+			t.Fatalf("expected host 1 to die first, got host %d err=%v", o.host, o.err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("victim never died")
+	}
+
+	// Replacement: a fresh process-side rank 1 dials the survivors back
+	// (RejoinTCP) and restores from the shared checkpoint directory.
+	rep, err := comm.RejoinTCP(1, addrs, comm.DialConfig{Timeout: 20 * time.Second})
+	if err != nil {
+		t.Fatalf("rejoin dial: %v", err)
+	}
+	rcfg := cfg
+	rcfg.Restore = true
+	go func() {
+		res, err := dsys.RunSingle(parts[1], rep, rcfg, inner)
+		results <- outcome{1, res, err}
+	}()
+
+	merged := make([]float64, len(golden))
+	for got := 0; got < cmHosts; got++ {
+		select {
+		case o := <-results:
+			if o.err != nil {
+				t.Fatalf("host %d: %v", o.host, o.err)
+			}
+			// RunSingle reports local masters only; overlay into the
+			// global view (PageRank values are strictly positive).
+			for gid, v := range o.res.Values {
+				if v != 0 {
+					merged[gid] = v
+				}
+			}
+		case <-time.After(120 * time.Second):
+			t.Fatal("cluster never finished after rejoin")
+		}
+	}
+	for _, ep := range eps {
+		if ep != nil {
+			ep.Close()
+		}
+	}
+	rep.Close()
+	mustMatchGolden(t, merged, golden)
+}
+
+// TestPoolBalanceUnderFaults pins the payload-ownership contract: across
+// the injected-fault scenarios (killed links, truncated frames, a full
+// crash/restore cycle) every pooled buffer handed out is returned —
+// gets == puts — so error paths cannot leak sync payloads.
+func TestPoolBalanceUnderFaults(t *testing.T) {
+	comm.SetPoolAccounting(true)
+	defer comm.SetPoolAccounting(false)
+
+	_, parts := cmParts(t)
+	for name, fcfg := range map[string]comm.FaultConfig{
+		"kill-conn":       {KillAfterSends: 5, KillPeer: 0},
+		"truncated-frame": {TruncateRecvAfter: 5},
+	} {
+		hub := comm.NewHub(cmHosts)
+		ts := hub.Endpoints()
+		ts[1] = comm.NewFaultTransport(ts[1], fcfg)
+		if _, err := dsys.RunWithTransports(parts, ts, cmConfig(t.TempDir()), pr.NewGalois(cmTol, 2)); err == nil {
+			t.Fatalf("%s: faulted run succeeded", name)
+		}
+		hub.Close()
+	}
+	// A crash + cold restore cycle exercises the rejoin and writer paths.
+	var hubs []*comm.Hub
+	mk := func() []comm.Transport {
+		h := comm.NewHub(cmHosts)
+		hubs = append(hubs, h)
+		return h.Endpoints()
+	}
+	crashThenRestore(t, t.TempDir(), mk, crashFactory(pr.NewGalois(cmTol, 2), 1, 2))
+	for _, h := range hubs {
+		h.Close()
+	}
+
+	// Send goroutines may still be draining after the runs return; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gets, puts := comm.PoolCounters()
+		if gets == puts {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pooled buffer leak: %d gets vs %d puts (%d buffers lost)", gets, puts, gets-puts)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestFailingHostPoisonsOwnTransport is the satellite-3 regression: a host
+// whose program fails AFTER the final barrier (in Finalize, when no peer
+// will fail a collective for it) must have its own transport poisoned by
+// the runner, so helper goroutines parked in Recv/RecvAny on that
+// transport fail fast instead of blocking until process teardown.
+func TestFailingHostPoisonsOwnTransport(t *testing.T) {
+	_, parts := cmParts(t)
+	hub := comm.NewHub(cmHosts)
+	defer hub.Close()
+	ts := hub.Endpoints()
+
+	// A helper parked on the failing host's own transport — the shape of a
+	// watchdog gossip drain.
+	unblocked := make(chan error, 1)
+	go func() {
+		_, payload, err := ts[1].RecvAny(comm.TagHeartbeat, nil)
+		comm.PutBuf(payload)
+		unblocked <- err
+	}()
+
+	factory := func(p *partition.Partition, g *gluon.Gluon) (dsys.Program, error) {
+		prog, err := pr.NewGalois(cmTol, 2)(p, g)
+		if err != nil || p.HostID != 1 {
+			return prog, err
+		}
+		return &failFinalize{prog}, nil
+	}
+	cfg := dsys.RunConfig{Hosts: cmHosts, Policy: partition.CVC, Opt: gluon.Opt(), MaxRounds: 3}
+	if _, err := dsys.RunWithTransports(parts, ts, cfg, factory); err == nil {
+		t.Fatal("run with failing Finalize succeeded")
+	}
+	select {
+	case err := <-unblocked:
+		if err == nil {
+			t.Fatal("parked RecvAny returned without an error")
+		}
+		var pe *comm.PeerError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parked RecvAny got %T (%v), want *comm.PeerError", err, err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("helper goroutine still parked in RecvAny after the host failed: own-transport poisoning regressed")
+	}
+}
+
+type failFinalize struct{ dsys.Program }
+
+func (f *failFinalize) Finalize() error { return errors.New("injected finalize failure") }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gluon/internal/bitset"
+	"gluon/internal/ckpt"
 	"gluon/internal/comm"
 	"gluon/internal/gluon"
 	"gluon/internal/graph"
@@ -112,6 +113,38 @@ type RunConfig struct {
 	// goroutines). Works with or without Trace: without, a hidden disabled
 	// session carries the liveness counters at zero event cost.
 	Watchdog *trace.WatchdogConfig
+	// Checkpoint, when non-nil, enables periodic asynchronous checkpoints:
+	// at every Every-th round boundary the cluster agrees on the epoch via
+	// a round-cursor all-reduce (the barrier token), each host copies its
+	// program field state + frontier + substrate memo, and a background
+	// writer persists the snapshot (versioned binary format, CRC, atomic
+	// rename, last-Keep retention). Requires the program to implement
+	// Checkpointable. Nil disables checkpointing entirely: the BSP loop is
+	// untouched and costs nothing extra.
+	Checkpoint *ckpt.Options
+	// Restore starts the host from its newest complete on-disk checkpoint
+	// instead of Init: it rebuilds the substrate from the checkpointed
+	// memo, rendezvouses with its peers on a common epoch (the cluster
+	// minimum), imports field state, and resumes the loop at the
+	// checkpointed round. Requires Checkpoint. Used both for cold cluster
+	// restarts (every host restores) and for a replacement host rejoining
+	// survivors (see Rejoin).
+	Restore bool
+	// Rejoin lets a survivor of a peer failure hold at the rejoin
+	// rendezvous and roll back to the newest cluster-wide checkpoint
+	// epoch instead of failing the run, resuming once a replacement host
+	// dials back in (comm.RejoinTCP) and restores. Effective on transports
+	// that propagate the HOLD announcement by poisoning (TCP); requires
+	// Checkpoint.
+	Rejoin bool
+	// RejoinTimeout bounds the per-peer wait at the rejoin rendezvous
+	// (how long survivors hold for a replacement). 0 means 120s.
+	RejoinTimeout time.Duration
+
+	// wd is the process-local watchdog handle, plumbed by
+	// RunWithTransports/RunSingle so the driver can suspend stall
+	// escalation across checkpoint barriers and rejoin windows.
+	wd *runWatchdog
 }
 
 // Run partitions the graph, spins up one goroutine per host over an
@@ -176,6 +209,7 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 		}
 		wd := startRunWatchdog(cfg.Trace, eps, hosts, *cfg.Watchdog)
 		defer wd.stop()
+		cfg.wd = wd
 	}
 	results := make([]*hostRun, hosts)
 	errs := make([]error, hosts)
@@ -195,6 +229,17 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 					}
 					if pf, ok := pt.(comm.PeerFailer); ok {
 						pf.FailPeer(h, errs[h])
+					}
+				}
+				// And poison this host's own mailboxes: helper goroutines
+				// (watchdog gossip drains, late collectives) parked in
+				// Recv/RecvAny on the failing host's transport must fail
+				// fast too, not sit blocked until the transport closes.
+				if pf, ok := ts[h].(comm.PeerFailer); ok {
+					for i := range ts {
+						if i != h {
+							pf.FailPeer(i, errs[h])
+						}
 					}
 				}
 			}
@@ -229,6 +274,7 @@ func RunSingle(p *partition.Partition, t comm.Transport, cfg RunConfig, factory 
 		ensureLivenessTrace(&cfg)
 		wd := startRunWatchdog(cfg.Trace, []wdEndpoint{{host: p.HostID, t: t}}, t.NumHosts(), *cfg.Watchdog)
 		defer wd.stop()
+		cfg.wd = wd
 	}
 	hr, err := runHost(p, t, cfg, factory)
 	if err != nil {
@@ -269,7 +315,31 @@ type hostRun struct {
 
 // runHost is the per-host BSP driver.
 func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory ProgramFactory) (*hostRun, error) {
-	g, err := gluon.New(p, t, cfg.Opt)
+	var restored *ckpt.Snapshot
+	if cfg.Restore {
+		if cfg.Checkpoint == nil {
+			return nil, errors.New("dsys: Restore requires Checkpoint options")
+		}
+		snap, err := ckpt.Latest(cfg.Checkpoint.Dir, p.HostID)
+		if err != nil {
+			return nil, err
+		}
+		if snap.NumHosts != t.NumHosts() {
+			return nil, fmt.Errorf("dsys: checkpoint is for %d hosts, cluster has %d",
+				snap.NumHosts, t.NumHosts())
+		}
+		restored = snap
+	}
+	var g *gluon.Gluon
+	var err error
+	if restored != nil {
+		// The survivors are holding at the rendezvous, not in gluon.New,
+		// so the memoization exchange cannot run; the checkpoint carries
+		// the master-side orders it would have produced.
+		g, err = gluon.NewRestored(p, t, cfg.Opt, restored.Section(secGluonMemo))
+	} else {
+		g, err = gluon.New(p, t, cfg.Opt)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -288,17 +358,128 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 	if err != nil {
 		return nil, err
 	}
-	if err := comm.Barrier(t); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-
-	frontier, err := prog.Init()
-	if err != nil {
-		return nil, err
+	var cp Checkpointable
+	var cw *ckpt.Writer
+	every := 0
+	if cfg.Checkpoint != nil {
+		var ok bool
+		if cp, ok = prog.(Checkpointable); !ok {
+			return nil, fmt.Errorf("dsys: checkpointing enabled but program %q does not implement Checkpointable",
+				prog.Name())
+		}
+		cw = ckpt.NewWriter(*cfg.Checkpoint, p.HostID, cfg.Trace.CountCkptWrite)
+		defer cw.Close()
+		every = cfg.Checkpoint.EveryOrDefault()
 	}
 	hr := &hostRun{name: prog.Name()}
+	start := time.Now()
 	round := 0
+	var frontier *bitset.Bitset
+
+	// checkpoint agrees on the epoch with a round-cursor all-reduce (the
+	// barrier token: every host must present the same cursor), copies the
+	// host's state, and hands the snapshot to the background writer. Only
+	// the token + copy run inline; the disk write overlaps the next rounds.
+	checkpoint := func(epoch int) error {
+		cfg.wd.suspendWatch()
+		defer cfg.wd.resumeWatch()
+		var t0 int64
+		if tr {
+			t0 = rec.Now()
+		}
+		tok, err := comm.AllReduceMax(t, uint64(epoch))
+		if err != nil {
+			return err
+		}
+		if tok != uint64(epoch) {
+			return fmt.Errorf("dsys: checkpoint token mismatch at epoch %d: cluster max %d", epoch, tok)
+		}
+		snap, err := captureSnapshot(p, g, cp, hr.name, uint64(epoch), frontier)
+		if err != nil {
+			return err
+		}
+		if tr {
+			rec.Emit(trace.Event{Phase: trace.PhaseCkpt, Start: t0, Dur: rec.Now() - t0,
+				Peer: -1, Detail: fmt.Sprintf("epoch %d", epoch)})
+		}
+		return cw.Submit(snap)
+	}
+
+	// rejoin is the recovery path for a *comm.PeerError when rejoin is
+	// enabled: hold at the rendezvous (watchdog suspended so the stalled
+	// cluster is not escalated while it recovers), agree on the newest
+	// epoch every host can load, reload state, and rewind the cursor.
+	rejoin := func(cause error) (bool, error) {
+		if !cfg.Rejoin || cw == nil {
+			return false, nil
+		}
+		var pe *comm.PeerError
+		if !errors.As(cause, &pe) {
+			return false, nil
+		}
+		cfg.wd.suspendWatch()
+		defer cfg.wd.resumeWatch()
+		snap, err := ckpt.Latest(cfg.Checkpoint.Dir, p.HostID)
+		if err != nil {
+			return false, fmt.Errorf("dsys: rejoin after %v: %w", cause, err)
+		}
+		epoch, err := rejoinRendezvous(t, g, snap.Epoch, cfg.rejoinTimeout())
+		if err != nil {
+			return false, err
+		}
+		if epoch != snap.Epoch {
+			if snap, err = ckpt.Load(cfg.Checkpoint.Dir, p.HostID, epoch); err != nil {
+				return false, err
+			}
+		}
+		if frontier, err = restoreSnapshot(p, cp, snap); err != nil {
+			return false, err
+		}
+		round = int(epoch)
+		cfg.Trace.CountCkptRestore()
+		// Re-executed rounds would misalign the per-round series with the
+		// round index; drop entries past the rollback point (cumulative
+		// totals keep the re-executed work — it was really spent).
+		if len(hr.perRoundComp) > round {
+			hr.perRoundComp = hr.perRoundComp[:round]
+		}
+		if len(hr.perRoundSync) > round {
+			hr.perRoundSync = hr.perRoundSync[:round]
+		}
+		return true, nil
+	}
+
+	if restored != nil {
+		cfg.wd.suspendWatch()
+		epoch, err := rejoinRendezvous(t, g, restored.Epoch, cfg.rejoinTimeout())
+		if err == nil && epoch != restored.Epoch {
+			restored, err = ckpt.Load(cfg.Checkpoint.Dir, p.HostID, epoch)
+		}
+		if err == nil {
+			frontier, err = restoreSnapshot(p, cp, restored)
+		}
+		cfg.wd.resumeWatch()
+		if err != nil {
+			return nil, err
+		}
+		round = int(restored.Epoch)
+		cfg.Trace.CountCkptRestore()
+		rec.SetRound(int32(round))
+	} else {
+		if err := comm.Barrier(t); err != nil {
+			return nil, err
+		}
+		if frontier, err = prog.Init(); err != nil {
+			return nil, err
+		}
+		if cw != nil {
+			// Epoch 0: always have a checkpoint on disk, so a failure in
+			// the very first rounds is recoverable too.
+			if err := checkpoint(0); err != nil {
+				return nil, err
+			}
+		}
+	}
 	for {
 		if cfg.MaxRounds > 0 && round >= cfg.MaxRounds {
 			break
@@ -324,6 +505,11 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		syncStart := time.Now()
 		rec.SetLivePhase(trace.PhaseSync)
 		if err := prog.Sync(updated); err != nil {
+			if ok, rerr := rejoin(err); ok {
+				continue
+			} else if rerr != nil {
+				return nil, rerr
+			}
 			return nil, err
 		}
 		active := uint64(updated.Count())
@@ -333,6 +519,11 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		}
 		global, err := g.AllReduceSum(active)
 		if err != nil {
+			if ok, rerr := rejoin(err); ok {
+				continue
+			} else if rerr != nil {
+				return nil, rerr
+			}
 			return nil, err
 		}
 		if tr {
@@ -349,9 +540,27 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 			break
 		}
 		frontier = updated
+		if cw != nil && round%every == 0 {
+			if err := checkpoint(round); err != nil {
+				if ok, rerr := rejoin(err); ok {
+					continue
+				} else if rerr != nil {
+					return nil, rerr
+				}
+				return nil, err
+			}
+		}
 	}
 	if err := prog.Finalize(); err != nil {
 		return nil, err
+	}
+	if cw != nil {
+		// Surface any write error from the final asynchronous checkpoint:
+		// a run that "completed" with its protection silently broken
+		// should fail loudly instead.
+		if err := cw.Close(); err != nil {
+			return nil, err
+		}
 	}
 	hr.wall = time.Since(start)
 	hr.res.Rounds = round

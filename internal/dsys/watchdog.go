@@ -190,6 +190,29 @@ func (rw *runWatchdog) stop() {
 // the diagnosis even when the run completed).
 func (rw *runWatchdog) reports() []*trace.StallReport { return rw.w.Reports() }
 
+// suspendWatch pauses stall escalation for a declared quiet window — a
+// checkpoint barrier token or a rejoin rendezvous — so the watchdog does
+// not read deliberate holding as a stall and fail a recovering cluster.
+// Nil-safe: a run without a watchdog calls through freely. Suspensions
+// nest (multiple local hosts checkpointing concurrently each suspend).
+func (rw *runWatchdog) suspendWatch() {
+	if rw == nil {
+		return
+	}
+	rw.w.Suspend()
+}
+
+// resumeWatch reverses suspendWatch and clears the health table: after a
+// rollback, hosts legitimately gossip SMALLER round numbers, which the
+// table's stale-heartbeat filter would otherwise discard forever.
+func (rw *runWatchdog) resumeWatch() {
+	if rw == nil {
+		return
+	}
+	rw.health.Reset()
+	rw.w.Resume()
+}
+
 // ensureLivenessTrace guarantees cfg carries a Trace for the watchdog's
 // liveness atomics. When the caller did not ask for tracing, the session is
 // created disabled: SetRound/SetLivePhase still publish heartbeats (plain

@@ -152,7 +152,17 @@ type Gluon struct {
 	// or concurrent syncs on the same host never double-count.
 	syncDepth int
 	syncEnter time.Time
+
+	// sendWG tracks the pipelined sync send goroutines. A sync that fails
+	// mid-flight (peer death) returns before its sender finishes; the
+	// checkpoint rendezvous calls WaitSends to quiesce the wire before
+	// announcing HOLD, so no pre-rollback frame can trail the announcement.
+	sendWG sync.WaitGroup
 }
+
+// WaitSends blocks until every in-flight sync send goroutine has finished.
+// Used by the rejoin rendezvous; safe to call at any quiescent point.
+func (g *Gluon) WaitSends() { g.sendWG.Wait() }
 
 // SetRecorder attaches a trace recorder to this substrate instance; sync
 // calls then emit per-phase spans tagged with exact payload byte splits.
@@ -221,10 +231,10 @@ func (g *Gluon) memoize() error {
 	me := p.HostID
 	n := p.NumHosts
 
-	byOwner := p.MirrorGIDsByOwner()
-	mirrors := make([][]uint32, n)
-	mirrorsIn := make([][]uint32, n)
-	mirrorsOut := make([][]uint32, n)
+	byOwner, mirrors, mirrorsIn, mirrorsOut, err := g.localMirrors()
+	if err != nil {
+		return err
+	}
 	masters := make([][]uint32, n)
 	mastersIn := make([][]uint32, n)
 	mastersOut := make([][]uint32, n)
@@ -235,35 +245,21 @@ func (g *Gluon) memoize() error {
 			continue
 		}
 		gids := byOwner[h]
-		payload := make([]byte, 4+len(gids)*9)
+		lids := mirrors[h]
+		payload := comm.GetBuf(4 + len(gids)*9)
 		binary.LittleEndian.PutUint32(payload, uint32(len(gids)))
 		off := 4
-		lids := make([]uint32, len(gids))
 		for i, gid := range gids {
-			lid, ok := p.LID(gid)
-			if !ok {
-				return fmt.Errorf("gluon: host %d: mirror gid %d has no local ID", me, gid)
-			}
-			lids[i] = lid
 			binary.LittleEndian.PutUint64(payload[off:], gid)
 			var flags byte
-			if p.HasIn.Test(lid) {
+			if p.HasIn.Test(lids[i]) {
 				flags |= 1
 			}
-			if p.HasOut.Test(lid) {
+			if p.HasOut.Test(lids[i]) {
 				flags |= 2
 			}
 			payload[off+8] = flags
 			off += 9
-		}
-		mirrors[h] = lids
-		for _, lid := range lids {
-			if p.HasIn.Test(lid) {
-				mirrorsIn[h] = append(mirrorsIn[h], lid)
-			}
-			if p.HasOut.Test(lid) {
-				mirrorsOut[h] = append(mirrorsOut[h], lid)
-			}
 		}
 		if err := g.T.Send(h, comm.TagMemo, payload); err != nil {
 			return err
@@ -315,6 +311,147 @@ func countAll(lists [][]uint32) uint64 {
 		c += uint64(len(l))
 	}
 	return c
+}
+
+// localMirrors computes the mirror-side exchange orders — which of my
+// proxies are mirrors owned by each peer, in agreed GID order, plus the
+// structural In/Out subsets. Pure local computation over the partition; the
+// master-side orders are the part that requires either the memoization
+// exchange (New) or a checkpointed import (NewRestored).
+func (g *Gluon) localMirrors() (byOwner [][]uint64, mirrors, mirrorsIn, mirrorsOut [][]uint32, err error) {
+	p := g.Part
+	n := p.NumHosts
+	byOwner = p.MirrorGIDsByOwner()
+	mirrors = make([][]uint32, n)
+	mirrorsIn = make([][]uint32, n)
+	mirrorsOut = make([][]uint32, n)
+	for h := 0; h < n; h++ {
+		if h == p.HostID {
+			continue
+		}
+		gids := byOwner[h]
+		lids := make([]uint32, len(gids))
+		for i, gid := range gids {
+			lid, ok := p.LID(gid)
+			if !ok {
+				return nil, nil, nil, nil, fmt.Errorf("gluon: host %d: mirror gid %d has no local ID", p.HostID, gid)
+			}
+			lids[i] = lid
+		}
+		mirrors[h] = lids
+		for _, lid := range lids {
+			if p.HasIn.Test(lid) {
+				mirrorsIn[h] = append(mirrorsIn[h], lid)
+			}
+			if p.HasOut.Test(lid) {
+				mirrorsOut[h] = append(mirrorsOut[h], lid)
+			}
+		}
+	}
+	return byOwner, mirrors, mirrorsIn, mirrorsOut, nil
+}
+
+// ExportMemo serializes the master-side memoized orders (masters,
+// mastersIn, mastersOut) for checkpointing. A replacement host cannot
+// re-run the memoization exchange — the survivors are holding at the
+// rendezvous, not in New — so the checkpoint carries the only state the
+// exchange would have produced; the mirror side is recomputed locally.
+// Layout: u32 numHosts, then for each of the three sets, per host a u32
+// count followed by that many u32 local IDs.
+func (g *Gluon) ExportMemo() []byte {
+	n := g.Part.NumHosts
+	size := 4
+	for _, set := range []*orderSet{&g.masters, &g.mastersIn, &g.mastersOut} {
+		size += 4 * n
+		size += 4 * int(countAll(set.lists))
+	}
+	out := make([]byte, 0, size)
+	out = binary.LittleEndian.AppendUint32(out, uint32(n))
+	for _, set := range []*orderSet{&g.masters, &g.mastersIn, &g.mastersOut} {
+		for h := 0; h < n; h++ {
+			lids := set.lists[h]
+			out = binary.LittleEndian.AppendUint32(out, uint32(len(lids)))
+			for _, lid := range lids {
+				out = binary.LittleEndian.AppendUint32(out, lid)
+			}
+		}
+	}
+	return out
+}
+
+// importMemo inverts ExportMemo, validating every local ID against the
+// partition (it must name a master proxy) so a stale or foreign checkpoint
+// fails loudly instead of corrupting the exchange orders.
+func (g *Gluon) importMemo(data []byte) error {
+	p := g.Part
+	n := p.NumHosts
+	if len(data) < 4 {
+		return fmt.Errorf("gluon: memo section too short (%d bytes)", len(data))
+	}
+	if got := int(binary.LittleEndian.Uint32(data)); got != n {
+		return fmt.Errorf("gluon: memo section is for %d hosts, cluster has %d", got, n)
+	}
+	off := 4
+	sets := make([][][]uint32, 3)
+	for s := 0; s < 3; s++ {
+		lists := make([][]uint32, n)
+		for h := 0; h < n; h++ {
+			if off+4 > len(data) {
+				return fmt.Errorf("gluon: memo section truncated at host %d", h)
+			}
+			cnt := int(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+			if off+4*cnt > len(data) {
+				return fmt.Errorf("gluon: memo section truncated in host %d order", h)
+			}
+			if cnt == 0 {
+				continue
+			}
+			lids := make([]uint32, cnt)
+			for i := range lids {
+				lid := binary.LittleEndian.Uint32(data[off:])
+				off += 4
+				if lid >= p.NumProxies() || !p.IsMaster(lid) {
+					return fmt.Errorf("gluon: memo section names lid %d which is not a master here", lid)
+				}
+				lids[i] = lid
+			}
+			lists[h] = lids
+		}
+		sets[s] = lists
+	}
+	if off != len(data) {
+		return fmt.Errorf("gluon: %d trailing bytes in memo section", len(data)-off)
+	}
+	g.masters = newOrderSet(sets[0])
+	g.mastersIn = newOrderSet(sets[1])
+	g.mastersOut = newOrderSet(sets[2])
+	return nil
+}
+
+// NewRestored builds the substrate for a host resuming from a checkpoint:
+// the mirror-side orders are recomputed locally and the master-side orders
+// come from the checkpoint's memo section (ExportMemo), so no memoization
+// exchange runs — the peers are holding at the rejoin rendezvous and could
+// not answer one.
+func NewRestored(p *partition.Partition, t comm.Transport, opt Options, memo []byte) (*Gluon, error) {
+	if p.HostID != t.HostID() || p.NumHosts != t.NumHosts() {
+		return nil, fmt.Errorf("gluon: partition host %d/%d does not match transport %d/%d",
+			p.HostID, p.NumHosts, t.HostID(), t.NumHosts())
+	}
+	g := &Gluon{Part: p, T: t, Opt: opt}
+	_, mirrors, mirrorsIn, mirrorsOut, err := g.localMirrors()
+	if err != nil {
+		return nil, err
+	}
+	g.mirrors = newOrderSet(mirrors)
+	g.mirrorsIn = newOrderSet(mirrorsIn)
+	g.mirrorsOut = newOrderSet(mirrorsOut)
+	if err := g.importMemo(memo); err != nil {
+		return nil, err
+	}
+	g.stats.MemoProxies = countAll(mirrors) + countAll(g.masters.lists)
+	return g, nil
 }
 
 // HostID returns this instance's host rank.

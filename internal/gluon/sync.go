@@ -210,7 +210,9 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 	// Sends still run off the receive path so that large bidirectional
 	// exchanges cannot deadlock on transport buffering.
 	sendErr := ps.errChan()
+	g.sendWG.Add(1)
 	go func() {
+		defer g.sendWG.Done()
 		sendErr <- par.RangeWorkers(len(sendPeers), g.Opt.SyncWorkers, func(w, lo, hi int) error {
 			defer trace.LabelPhase(trace.PhaseEncode)()
 			sc := getEncodeScratch()
@@ -291,6 +293,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 		h, payload, err := g.T.RecvAny(tag, remaining)
 		rec.SetLivePhase(trace.PhaseFold)
 		if err != nil {
+			releaseStages(stages)
 			return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
 		}
 		if tr {
@@ -303,6 +306,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			err = decodeMsg(g, payload, recv.lists[h], apply)
 			comm.PutBuf(payload)
 			if err != nil {
+				releaseStages(stages)
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
 			}
 			applyIdx++
@@ -316,6 +320,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			body, pooled, derr := maybeDecompress(payload)
 			if derr != nil {
 				comm.PutBuf(payload)
+				releaseStages(stages)
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, derr)
 			}
 			if pooled {
@@ -338,6 +343,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			derr := decodeBody(g, body, recv.lists[hp], apply)
 			comm.PutBuf(body)
 			if derr != nil {
+				releaseStages(stages)
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, hp, derr)
 			}
 			applyIdx++
@@ -387,7 +393,9 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 	// Master orders for different peers overlap, but broadcast encoding
 	// only reads them, so the worker fan-out is safe.
 	sendErr := ps.errChan()
+	g.sendWG.Add(1)
 	go func() {
+		defer g.sendWG.Done()
 		sendErr <- par.RangeWorkers(len(sendPeers), g.Opt.SyncWorkers, func(w, lo, hi int) error {
 			defer trace.LabelPhase(trace.PhaseEncode)()
 			sc := getEncodeScratch()
@@ -465,6 +473,19 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 	err := <-sendErr
 	putPeerScratch(ps)
 	return err
+}
+
+// releaseStages returns parked out-of-order receive buffers to the pool.
+// The receive loop's error paths deliberately do not pool the scratch
+// itself (the send goroutine may still hold its lists), but the staged
+// wire bytes are owned solely by the loop and would otherwise leak.
+func releaseStages(stages [][]byte) {
+	for i, b := range stages {
+		if b != nil {
+			comm.PutBuf(b)
+			stages[i] = nil
+		}
+	}
 }
 
 // peerLists fills the scratch with the peers this sync sends to and

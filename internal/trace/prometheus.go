@@ -57,6 +57,22 @@ func WritePrometheus(w io.Writer, s *LiveStats) error {
 	p("# TYPE gluon_faults_total counter\n")
 	p("gluon_faults_total %d\n", faults)
 
+	p("# HELP gluon_ckpt_writes_total Completed checkpoint writes.\n")
+	p("# TYPE gluon_ckpt_writes_total counter\n")
+	p("gluon_ckpt_writes_total %d\n", s.CkptWrites)
+
+	p("# HELP gluon_ckpt_bytes_total Checkpoint bytes persisted to disk.\n")
+	p("# TYPE gluon_ckpt_bytes_total counter\n")
+	p("gluon_ckpt_bytes_total %d\n", s.CkptBytes)
+
+	p("# HELP gluon_ckpt_errors_total Failed checkpoint writes.\n")
+	p("# TYPE gluon_ckpt_errors_total counter\n")
+	p("gluon_ckpt_errors_total %d\n", s.CkptErrors)
+
+	p("# HELP gluon_ckpt_restores_total Restores performed from checkpoint.\n")
+	p("# TYPE gluon_ckpt_restores_total counter\n")
+	p("gluon_ckpt_restores_total %d\n", s.CkptRestores)
+
 	p("# HELP gluon_phase_events_total Trace events by phase.\n")
 	p("# TYPE gluon_phase_events_total counter\n")
 	p("# HELP gluon_phase_duration_seconds_total Time spent in each phase, summed over hosts.\n")

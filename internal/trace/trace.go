@@ -56,12 +56,16 @@ const (
 	PhaseFrameSend
 	PhaseFrameRecv
 	PhaseFault
+	// PhaseCkpt spans cover checkpoint capture and the asynchronous write
+	// (DESIGN.md §4.6). Appended after the instants so existing numeric
+	// phase values stay stable across trace versions.
+	PhaseCkpt
 	NumPhases
 )
 
 var phaseNames = [NumPhases]string{
 	"sync", "encode", "send", "recvwait", "fold", "apply",
-	"compute", "barrier", "framesend", "framerecv", "fault",
+	"compute", "barrier", "framesend", "framerecv", "fault", "ckpt",
 }
 
 // String returns the phase's wire name (used in exports and analyzer tables).
@@ -83,8 +87,12 @@ func ParsePhase(s string) (Phase, bool) {
 }
 
 // Instant reports whether the phase is an instantaneous marker rather than
-// a span (frame-level and fault events).
-func (p Phase) Instant() bool { return p >= PhaseFrameSend }
+// a span (frame-level and fault events). PhaseCkpt sits after the instants
+// numerically but is a span (capture/write durations matter), so the set
+// is enumerated explicitly.
+func (p Phase) Instant() bool {
+	return p == PhaseFrameSend || p == PhaseFrameRecv || p == PhaseFault
+}
 
 // Event is one trace record. Span events have Dur > 0 (or a span Phase with
 // measured zero duration); instants have Dur == 0 by construction.
@@ -218,6 +226,35 @@ type Trace struct {
 	compressed atomic.Uint64
 	compSkip   atomic.Uint64
 	compSaved  atomic.Uint64
+
+	// Checkpoint plane counters (gluon_ckpt_* in the Prometheus export).
+	ckptWrites   atomic.Uint64
+	ckptBytes    atomic.Uint64
+	ckptErrors   atomic.Uint64
+	ckptRestores atomic.Uint64
+}
+
+// CountCkptWrite records one completed checkpoint write of the given size
+// (err non-nil counts an error instead). Safe on a nil Trace.
+func (t *Trace) CountCkptWrite(bytes int, err error) {
+	if t == nil {
+		return
+	}
+	if err != nil {
+		t.ckptErrors.Add(1)
+		return
+	}
+	t.ckptWrites.Add(1)
+	t.ckptBytes.Add(uint64(bytes))
+}
+
+// CountCkptRestore records one successful restore from checkpoint. Safe on
+// a nil Trace.
+func (t *Trace) CountCkptRestore() {
+	if t == nil {
+		return
+	}
+	t.ckptRestores.Add(1)
 }
 
 // New creates an enabled tracing session whose clock starts now.
@@ -608,11 +645,17 @@ type LiveStats struct {
 	GIDBytes   uint64 `json:"gid_bytes"`
 	// Compressed/CompressSkipped split the messages compression considered;
 	// CompressionSaved is the wire bytes the DEFLATE wrapper removed.
-	Compressed       uint64               `json:"compressed_messages"`
-	CompressSkipped  uint64               `json:"compress_skipped"`
-	CompressionSaved uint64               `json:"compression_saved_bytes"`
-	Phases           map[string]PhaseLive `json:"phases"`
-	Modes            map[string]uint64    `json:"modes"`
+	Compressed       uint64 `json:"compressed_messages"`
+	CompressSkipped  uint64 `json:"compress_skipped"`
+	CompressionSaved uint64 `json:"compression_saved_bytes"`
+	// Checkpoint plane: completed/failed checkpoint writes, bytes persisted,
+	// and restores performed (DESIGN.md §4.6).
+	CkptWrites   uint64               `json:"ckpt_writes,omitempty"`
+	CkptBytes    uint64               `json:"ckpt_bytes,omitempty"`
+	CkptErrors   uint64               `json:"ckpt_errors,omitempty"`
+	CkptRestores uint64               `json:"ckpt_restores,omitempty"`
+	Phases       map[string]PhaseLive `json:"phases"`
+	Modes        map[string]uint64    `json:"modes"`
 }
 
 // TotalBytes returns the live payload byte total.
@@ -635,6 +678,10 @@ func (t *Trace) Live() LiveStats {
 		Compressed:       t.compressed.Load(),
 		CompressSkipped:  t.compSkip.Load(),
 		CompressionSaved: t.compSaved.Load(),
+		CkptWrites:       t.ckptWrites.Load(),
+		CkptBytes:        t.ckptBytes.Load(),
+		CkptErrors:       t.ckptErrors.Load(),
+		CkptRestores:     t.ckptRestores.Load(),
 		Phases:           make(map[string]PhaseLive, NumPhases),
 		Modes:            make(map[string]uint64, NumModes),
 	}

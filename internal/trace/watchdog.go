@@ -19,6 +19,7 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -92,6 +93,16 @@ func (h *Health) Snapshot() []Heartbeat {
 		}
 	}
 	return out
+}
+
+// Reset clears the table. A checkpoint rollback legitimately moves every
+// host's round backwards; without a reset, Update's stale-gossip filter
+// would discard all post-rollback heartbeats and the watchdog would starve
+// on pre-rollback state.
+func (h *Health) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	clear(h.slots)
 }
 
 // Now returns the table's observer clock reading.
@@ -204,8 +215,28 @@ type Watchdog struct {
 	stopOnce sync.Once
 	done     chan struct{}
 
+	// suspended counts declared checkpoint/rejoin windows (see Suspend).
+	suspended atomic.Int32
+
 	mu      sync.Mutex
 	reports []*StallReport
+}
+
+// Suspend pauses stall detection for a declared checkpoint barrier or
+// rejoin window: rounds deliberately stop advancing there, and flagging —
+// let alone escalating StallError — would kill a recovering cluster.
+// Suspensions nest (hosts sharing one watchdog may overlap their windows);
+// detection resumes when every Suspend has been matched by a Resume.
+func (w *Watchdog) Suspend() { w.suspended.Add(1) }
+
+// Resume re-arms stall detection after Suspend. Round timing restarts from
+// scratch — the time spent inside the window never counts against the
+// current round — but the trailing-median history is kept, since completed
+// pre-window rounds remain representative.
+func (w *Watchdog) Resume() {
+	if w.suspended.Add(-1) < 0 {
+		panic("trace: Watchdog.Resume without matching Suspend")
+	}
 }
 
 // StartWatchdog begins monitoring health. tr, when non-nil, supplies the
@@ -255,6 +286,13 @@ func (w *Watchdog) run() {
 		case <-w.stop:
 			return
 		case <-tick.C:
+		}
+		if w.suspended.Load() > 0 {
+			// Inside a declared checkpoint/rejoin window: drop the current
+			// round timing (it restarts fresh on resume) and never flag.
+			curRound = -2
+			flagged, escalated = false, false
+			continue
 		}
 		hbs := w.health.Snapshot()
 		if len(hbs) == 0 {

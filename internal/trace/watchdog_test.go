@@ -153,6 +153,82 @@ escalation:
 	}
 }
 
+// TestWatchdogSuspendedNeverReports: a wedged-looking cluster inside a
+// declared quiet window (checkpoint barrier, rejoin rendezvous) must not be
+// flagged or escalated — suspension pauses stall tracking entirely, and
+// resuming restarts the round timer from scratch instead of charging the
+// suspended time to the current round.
+func TestWatchdogSuspendedNeverReports(t *testing.T) {
+	var clock atomic.Int64
+	h := NewHealth(func() int64 { return clock.Load() })
+	reports := make(chan *StallReport, 4)
+	w := StartWatchdog(nil, h, WatchdogConfig{
+		Factor:       4,
+		MinRound:     10 * time.Millisecond,
+		Poll:         time.Millisecond,
+		StallTimeout: 20 * time.Millisecond,
+		OnReport:     func(r *StallReport) { reports <- r },
+	})
+	defer w.Stop()
+
+	beat := func(host, round int32, p Phase) {
+		h.Update(Heartbeat{Host: host, Round: round, Phase: p, BeatNs: clock.Load()})
+	}
+	// Fast rounds build a small trailing median.
+	for round := int32(0); round < 5; round++ {
+		for host := int32(0); host < 3; host++ {
+			beat(host, round, PhaseCompute)
+		}
+		clock.Add(int64(2 * time.Millisecond))
+		time.Sleep(3 * time.Millisecond)
+	}
+	// Suspension nests: two overlapping windows (a checkpoint barrier on
+	// one local host, a rendezvous on another).
+	w.Suspend()
+	w.Suspend()
+	w.Resume()
+	// The cluster now looks wedged for far longer than threshold+timeout.
+	beat(0, 5, PhaseRecvWait)
+	beat(1, 5, PhaseEncode)
+	beat(2, 5, PhaseRecvWait)
+	for i := 0; i < 40; i++ {
+		clock.Add(int64(10 * time.Millisecond))
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case r := <-reports:
+		t.Fatalf("suspended watchdog reported a stall: %+v", r)
+	default:
+	}
+	// After a rollback the hosts gossip smaller rounds; Reset lets the
+	// table accept them (Update ignores round regressions otherwise).
+	h.Reset()
+	w.Resume()
+	beat(0, 2, PhaseCompute)
+	if snap := h.Snapshot(); len(snap) != 1 || snap[0].Round != 2 {
+		t.Fatalf("post-Reset rollback heartbeat not accepted: %+v", snap)
+	}
+	// Resumed and genuinely stalled: the watchdog must report again.
+	beat(0, 2, PhaseRecvWait)
+	beat(1, 2, PhaseEncode)
+	beat(2, 2, PhaseRecvWait)
+	deadline := time.After(5 * time.Second)
+	for {
+		clock.Add(int64(5 * time.Millisecond))
+		select {
+		case r := <-reports:
+			if r.Suspect != 1 {
+				t.Fatalf("post-resume report names host %d, want 1", r.Suspect)
+			}
+			return
+		case <-deadline:
+			t.Fatal("resumed watchdog never reported a real stall")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
 // TestWatchdogQuietOnProgress: rounds that keep advancing within the
 // threshold never produce a report.
 func TestWatchdogQuietOnProgress(t *testing.T) {
