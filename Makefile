@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-fault restore-gate bench sync-bench trace-guard trace-smoke watchdog-smoke
+.PHONY: check fmt vet build test race race-fault restore-gate bench sync-bench trace-guard trace-smoke watchdog-smoke doctor-smoke
 
 # trace-guard runs before the race gates: it measures wall time, and the
 # race suites leave the machine hot enough to skew it.
-check: fmt vet build trace-guard trace-smoke watchdog-smoke race-fault restore-gate race
+check: fmt vet build trace-guard trace-smoke watchdog-smoke doctor-smoke race-fault restore-gate race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -66,6 +66,12 @@ trace-guard:
 # (DESIGN.md §4.4).
 watchdog-smoke:
 	$(GO) test -count=1 -run 'TestWatchdog' ./internal/dsys/ ./internal/trace/
+
+# Doctor smoke: a fault-injected 3-host run with the flight recorder armed
+# must leave postmortem bundles that diagnose into the killed rank, the
+# trigger, and the round — under the race detector (DESIGN.md §4.7).
+doctor-smoke:
+	$(GO) test -race -count=1 -run 'TestDoctorSmoke' ./internal/dsys/
 
 # Trace smoke: record a 4-host BFS run, then run the analyzer over the
 # export — proves the end-to-end trace path (emit, export, parse, tables).

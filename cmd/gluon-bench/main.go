@@ -24,6 +24,10 @@ import (
 	"gluon/internal/trace"
 )
 
+// logger is the CLI's structured log sink (teed into the armed flight
+// recorder's recent-log ring, when one is armed).
+var logger = trace.NewLogger("gluon-bench")
+
 func main() {
 	var (
 		table   = flag.Int("table", 0, "run only this table (1-5)")
@@ -56,7 +60,7 @@ func main() {
 			fatal(err)
 		}
 		defer ps.Close()
-		fmt.Fprintf(os.Stderr, "gluon-bench: serving pprof at http://%s/debug/pprof/ (sync phases labeled gluon_phase)\n", ps.Addr())
+		logger.Info("serving pprof (sync phases labeled gluon_phase)", "url", fmt.Sprintf("http://%s/debug/pprof/", ps.Addr()))
 	}
 
 	p := bench.DefaultParams()
@@ -93,7 +97,7 @@ func main() {
 				fatal(err)
 			}
 			defer ms.Close()
-			fmt.Fprintf(os.Stderr, "gluon-bench: serving trace metrics at http://%s/metrics\n", ms.Addr())
+			logger.Info("serving trace metrics", "url", fmt.Sprintf("http://%s/metrics", ms.Addr()))
 		}
 		if *traceSummary > 0 {
 			stop := trace.StartSummary(os.Stderr, tr, *traceSummary)
@@ -183,11 +187,8 @@ func main() {
 		if err := tr.WriteFile(*traceOut); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "gluon-bench: wrote %d trace events to %s (analyze with gluon-trace %s)\n",
-			tr.Live().Events, *traceOut, *traceOut)
-		if d := tr.Dropped(); d > 0 {
-			fmt.Fprintf(os.Stderr, "gluon-bench: warning: %d events dropped to ring overwrites; totals undercount\n", d)
-		}
+		logger.Info("wrote trace", "events", tr.Live().Events, "path", *traceOut, "analyze", "gluon-trace "+*traceOut)
+		trace.LogDropped(logger, tr.Dropped())
 	}
 }
 
@@ -204,6 +205,6 @@ func parseInts(s string) ([]int, error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gluon-bench:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -1,0 +1,84 @@
+// Command gluon-doctor performs causal crash diagnosis on the postmortem
+// bundles a dead cluster left behind. Point it at the -postmortem-dir the
+// run was armed with (collect the bundles from every surviving host into
+// one directory first, for multi-machine clusters) and it prints the
+// operator transcript: which rank failed first and why, how the poison
+// propagated through the survivors, what the stalled host was last doing,
+// and how many rounds of work a checkpoint restore would replay.
+//
+// Bundles from different processes carry unrelated session clocks;
+// gluon-doctor aligns them with the sideband-measured clock offsets when
+// every session shipped traces, falling back to wall-clock alignment
+// otherwise. With -o it also writes the merged, aligned Chrome trace of
+// the cluster's final seconds for chrome://tracing or Perfetto.
+//
+// Usage:
+//
+//	gluon-doctor [-o final.trace.json] [-window 10s] [-json] bundle-dir
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gluon/internal/trace"
+)
+
+func main() {
+	out := flag.String("o", "", "write the merged, clock-aligned Chrome trace of the final window to this file")
+	window := flag.Duration("window", 10*time.Second, "with -o: trailing timeline to keep (0 = everything)")
+	asJSON := flag.Bool("json", false, "emit the structured diagnosis as JSON instead of the transcript")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gluon-doctor [-o final.trace.json] [-window 10s] [-json] bundle-dir\n\n")
+		fmt.Fprintf(os.Stderr, "Loads the postmortem bundles written by an armed flight recorder (gluon-run\n-postmortem-dir), aligns them onto one clock, and prints a causal diagnosis of\nthe cluster's death: first-failing rank, trigger, poison cascade, last-known\nactivity, and the recompute distance from the last checkpoint.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+
+	bundles, bad, err := trace.LoadBundles(dir)
+	for _, e := range bad {
+		fmt.Fprintf(os.Stderr, "gluon-doctor: warning: skipping corrupt bundle: %v\n", e)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	d := trace.Diagnose(bundles)
+
+	if *asJSON {
+		// The merged ring events can run to megabytes; the JSON verdict is
+		// for scripting, so it carries the diagnosis without the raw events
+		// (use -o for the timeline).
+		slim := *d
+		slim.Merged = nil
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(&slim); err != nil {
+			fatal(err)
+		}
+	} else {
+		d.WriteReport(os.Stdout)
+	}
+
+	if *out != "" {
+		events := trace.FinalWindow(d.Merged, *window)
+		meta := trace.Meta{Label: "postmortem " + dir, Dropped: d.MergedDropped, Clocks: d.MergedClocks}
+		if err := trace.WriteFileMeta(*out, meta, events); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gluon-doctor: wrote %d aligned event(s) to %s\n", len(events), *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gluon-doctor:", err)
+	os.Exit(1)
+}

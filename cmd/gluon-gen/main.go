@@ -11,12 +11,15 @@ package main
 
 import (
 	"flag"
-	"fmt"
 	"os"
 
 	"gluon/internal/gluon"
+	"gluon/internal/trace"
 	"gluon/internal/vprog"
 )
+
+// logger is the CLI's structured log sink.
+var logger = trace.NewLogger("gluon-gen")
 
 func main() {
 	var (
@@ -57,7 +60,7 @@ func main() {
 		}},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gluon-gen:", err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 	if *output == "" {
@@ -65,7 +68,7 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*output, src, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "gluon-gen:", err)
+		logger.Error(err.Error())
 		os.Exit(1)
 	}
 }

@@ -20,7 +20,11 @@ import (
 	"gluon/internal/gio"
 	"gluon/internal/graph"
 	"gluon/internal/partition"
+	"gluon/internal/trace"
 )
+
+// logger is the CLI's structured log sink.
+var logger = trace.NewLogger("gluon-partition")
 
 func main() {
 	var (
@@ -125,6 +129,6 @@ func main() {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gluon-partition:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

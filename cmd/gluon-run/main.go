@@ -13,15 +13,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"gluon"
 	"gluon/internal/autotune"
 	"gluon/internal/ckpt"
+	"gluon/internal/comm"
 	"gluon/internal/gemini"
 	"gluon/internal/gio"
 	"gluon/internal/trace"
 	"gluon/internal/validate"
 )
+
+// logger is the CLI's structured log sink: compact stderr lines that the
+// armed flight recorder also tees into postmortem bundles.
+var logger = trace.NewLogger("gluon-run")
 
 func main() {
 	var (
@@ -48,6 +54,7 @@ func main() {
 		pprofAddr    = flag.String("pprof-addr", "", "serve /debug/pprof/ at this address with sync phases labeled in CPU profiles")
 		watchdog     = flag.Bool("watchdog", false, "run the straggler/stall watchdog (reports to stderr)")
 		wdStall      = flag.Duration("watchdog-stall", 0, "escalate a flagged stall to a cluster failure after this long (0 = warn only)")
+		pmDir        = flag.String("postmortem-dir", "", "arm the black-box flight recorder: failures write postmortem bundles (gluon-doctor input) under this directory")
 
 		ckptDir   = flag.String("ckpt-dir", "", "write periodic per-host checkpoints under this directory (requires a checkpointable benchmark)")
 		ckptEvery = flag.Int("ckpt-every", 0, "checkpoint every N rounds (0 = ckpt package default)")
@@ -62,13 +69,14 @@ func main() {
 			fatal(err)
 		}
 		defer ps.Close()
-		fmt.Fprintf(os.Stderr, "gluon-run: serving pprof at http://%s/debug/pprof/ (sync phases labeled gluon_phase)\n", ps.Addr())
+		logger.Info("serving pprof (sync phases labeled gluon_phase)", "url", fmt.Sprintf("http://%s/debug/pprof/", ps.Addr()))
 	}
 
 	// Any observability flag turns tracing on; the trace object is shared by
 	// the substrate, the metrics endpoint, the periodic summary, and the
 	// collection sideband.
 	var tr *trace.Trace
+	var shipClock trace.ClockInfo
 	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 || *traceShip != "" {
 		tr = trace.New(trace.Config{Label: fmt.Sprintf("gluon-run %s/%s", *system, *benchFlg)})
 		if *metricsAddr != "" {
@@ -77,7 +85,7 @@ func main() {
 				fatal(err)
 			}
 			defer ms.Close()
-			fmt.Fprintf(os.Stderr, "gluon-run: serving trace metrics at http://%s/metrics\n", ms.Addr())
+			logger.Info("serving trace metrics", "url", fmt.Sprintf("http://%s/metrics", ms.Addr()))
 		}
 		if *traceSummary > 0 {
 			stop := trace.StartSummary(os.Stderr, tr, *traceSummary)
@@ -90,11 +98,26 @@ func main() {
 			}
 			defer func() {
 				if err := sh.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "gluon-run: trace shipper: %v\n", err)
+					logger.Error("trace shipper failed", "err", err)
 				}
 			}()
-			fmt.Fprintf(os.Stderr, "gluon-run: shipping trace to %s (%v)\n", *traceShip, sh.Clock())
+			shipClock = sh.Clock()
+			logger.Info("shipping trace", "to", *traceShip, "clock", fmt.Sprint(shipClock))
 		}
+	}
+
+	// Arming the flight recorder costs nothing on the hot path: without
+	// explicit tracing it keeps a private always-on ring that dsys adopts,
+	// and failure paths anywhere in the process dump bundles through it.
+	if *pmDir != "" {
+		fr := trace.NewFlightRecorder(trace.FlightConfig{Dir: *pmDir, Trace: tr})
+		fr.SetRunConfig("gluon-run " + strings.Join(os.Args[1:], " "))
+		fr.SetPoolCounters(comm.PoolCounters)
+		if shipClock.Samples > 0 {
+			fr.SetClock(shipClock)
+		}
+		trace.Arm(fr)
+		logger.Info("flight recorder armed", "dir", *pmDir)
 	}
 
 	weighted := *benchFlg == "sssp" || *benchFlg == "sssp-delta"
@@ -127,7 +150,7 @@ func main() {
 
 	if *system == "gemini" {
 		if tr != nil {
-			fmt.Fprintln(os.Stderr, "gluon-run: warning: the gemini baseline is not instrumented; trace output will be empty")
+			logger.Warn("the gemini baseline is not instrumented; trace output will be empty")
 		}
 		res, err := gemini.Run(numNodes, edges, gemini.Algorithm(*benchFlg), gemini.Config{
 			Hosts: *hosts, Workers: *workers, Source: source,
@@ -291,13 +314,11 @@ func writeTrace(tr *trace.Trace, path string) {
 		fatal(err)
 	}
 	events := tr.Live().Events
-	fmt.Fprintf(os.Stderr, "gluon-run: wrote %d trace events to %s (analyze with gluon-trace %s)\n", events, path, path)
-	if d := tr.Dropped(); d > 0 {
-		fmt.Fprintf(os.Stderr, "gluon-run: warning: %d events dropped to ring overwrites; raise trace.Config.Capacity\n", d)
-	}
+	logger.Info("wrote trace", "events", events, "path", path, "analyze", "gluon-trace "+path)
+	trace.LogDropped(logger, tr.Dropped())
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gluon-run:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

@@ -27,6 +27,9 @@ import (
 	"gluon/internal/trace"
 )
 
+// logger is the CLI's structured log sink.
+var logger = trace.NewLogger("gluon-trace")
+
 func main() {
 	asJSON := flag.Bool("json", false, "emit the summary as JSON instead of tables")
 	label := flag.String("label", "", "override the label shown in the header")
@@ -69,9 +72,7 @@ func main() {
 	if err := report(trace.SummarizeMeta(meta, events), *asJSON); err != nil {
 		fatal(err)
 	}
-	if meta.Dropped > 0 {
-		fmt.Fprintf(os.Stderr, "gluon-trace: warning: %d events were dropped to ring overwrites; totals undercount\n", meta.Dropped)
-	}
+	trace.LogDropped(logger, meta.Dropped)
 }
 
 // runCollector is the -serve mode: accept shipper sessions until the target
@@ -81,19 +82,18 @@ func runCollector(addr string, wantSessions int, out, label string, asJSON bool)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "gluon-trace: collecting at %s (point trace shippers here", col.Addr())
+	finish := "Ctrl-C to finish"
 	if wantSessions > 0 {
-		fmt.Fprintf(os.Stderr, "; exiting after %d sessions)\n", wantSessions)
-	} else {
-		fmt.Fprintf(os.Stderr, "; Ctrl-C to finish)\n")
+		finish = fmt.Sprintf("exiting after %d sessions", wantSessions)
 	}
+	logger.Info("collecting (point trace shippers here)", "addr", col.Addr(), "until", finish)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 wait:
 	for {
 		select {
 		case <-sig:
-			fmt.Fprintln(os.Stderr, "gluon-trace: interrupted; merging what arrived")
+			logger.Info("interrupted; merging what arrived")
 			break wait
 		case <-time.After(100 * time.Millisecond):
 			if _, done := col.Sessions(); wantSessions > 0 && done >= wantSessions {
@@ -102,8 +102,9 @@ wait:
 		}
 	}
 	col.Close()
-	for _, e := range col.Errs() {
-		fmt.Fprintf(os.Stderr, "gluon-trace: session error: %v\n", e)
+	sessionErrs := col.Errs()
+	for _, e := range sessionErrs {
+		logger.Error("shipper session ended in error", "err", e)
 	}
 	events, meta := col.Merged()
 	if len(events) == 0 {
@@ -116,9 +117,17 @@ wait:
 		if err := trace.WriteFileMeta(out, meta, events); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "gluon-trace: wrote %d merged events to %s\n", len(events), out)
+		logger.Info("wrote merged trace", "events", len(events), "path", out)
 	}
-	return report(trace.SummarizeMeta(meta, events), asJSON)
+	if err := report(trace.SummarizeMeta(meta, events), asJSON); err != nil {
+		return err
+	}
+	// A collector that lost sessions must not exit 0: the merged timeline is
+	// incomplete, and scripts gating on it would silently trust partial data.
+	if len(sessionErrs) > 0 {
+		return fmt.Errorf("%d shipper session(s) ended in error (listed above); merged trace is incomplete", len(sessionErrs))
+	}
+	return nil
 }
 
 func report(s *trace.Summary, asJSON bool) error {
@@ -131,6 +140,6 @@ func report(s *trace.Summary, asJSON bool) error {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gluon-trace:", err)
+	logger.Error(err.Error())
 	os.Exit(1)
 }

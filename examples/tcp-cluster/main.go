@@ -63,6 +63,7 @@ func main() {
 		cold      = flag.Bool("cold-restore", false, "with -restore: the whole cluster is restarting together, so form a fresh mesh instead of dialing into a live one")
 		rejoin    = flag.Bool("rejoin", false, "survive peer death: roll back to the newest checkpoint and wait for a replacement instead of failing")
 		delay     = flag.Duration("round-delay", 0, "sleep this long per round (demo aid: widens the window for killing a rank mid-run)")
+		pmDir     = flag.String("postmortem-dir", "", "arm the black-box flight recorder: failures write postmortem bundles (gluon-doctor input) under this directory")
 	)
 	flag.Parse()
 
@@ -122,10 +123,25 @@ func main() {
 	}
 
 	if *host >= 0 {
-		runOneHost(*host, addrs, parts, csr, source, wcfg, *collect, *traceOut, ckptOpts, *restore, *cold, *rejoin, *delay)
+		runOneHost(*host, addrs, parts, csr, source, wcfg, *collect, *traceOut, *pmDir, ckptOpts, *restore, *cold, *rejoin, *delay)
 		return
 	}
-	runDemo(addrs, parts, csr, source, wcfg, *collect, *traceOut)
+	runDemo(addrs, parts, csr, source, wcfg, *collect, *traceOut, *pmDir)
+}
+
+// armRecorder arms the process-global flight recorder when the operator
+// asked for postmortems. The run's trace session is reused when one exists;
+// otherwise the recorder keeps its own modest always-on ring that dsys
+// adopts, so bundles carry a timeline even with tracing off.
+func armRecorder(dir string, tr *trace.Trace, host int, runDesc string) {
+	if dir == "" {
+		return
+	}
+	fr := trace.NewFlightRecorder(trace.FlightConfig{Dir: dir, Trace: tr, Host: host})
+	fr.SetRunConfig(runDesc)
+	fr.SetPoolCounters(comm.PoolCounters)
+	trace.Arm(fr)
+	log.Printf("flight recorder armed: bundles will land in %s (diagnose with: gluon-doctor %s)", dir, dir)
 }
 
 // slowProgram wraps a checkpointable program with a fixed per-round sleep,
@@ -149,7 +165,7 @@ func (s *slowProgram) ImportState(secs []ckpt.Section) error {
 }
 
 // runOneHost is multi-process mode: this process drives exactly one rank.
-func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut string, ckptOpts *ckpt.Options, restore, cold, rejoin bool, delay time.Duration) {
+func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut, pmDir string, ckptOpts *ckpt.Options, restore, cold, rejoin bool, delay time.Duration) {
 	if host >= len(addrs) {
 		log.Fatalf("-host %d out of range for %d addrs", host, len(addrs))
 	}
@@ -160,6 +176,7 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 	if collect != "" || traceOut != "" {
 		tr = trace.New(trace.Config{Label: fmt.Sprintf("tcp-cluster host %d/%d", host, hosts)})
 	}
+	armRecorder(pmDir, tr, host, fmt.Sprintf("tcp-cluster -host %d of %d", host, hosts))
 
 	// Rendezvous with the other processes. The dial is bounded: a rank that
 	// never launches fails the mesh with an error naming it. A replacement
@@ -186,6 +203,7 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 			log.Fatal(prefix, err)
 		}
 		log.Printf("%sshipping trace to %s (%v)", prefix, collect, sh.Clock())
+		trace.Armed().SetClock(sh.Clock())
 		defer func() {
 			if err := sh.Close(); err != nil {
 				log.Printf("%strace shipper: %v", prefix, err)
@@ -211,12 +229,20 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 		return &slowProgram{Program: prog, delay: delay}, nil
 	})
 	if err != nil {
+		if pmDir != "" {
+			log.Printf("%spostmortem bundles are under %s — diagnose with: gluon-doctor %s", prefix, pmDir, pmDir)
+		}
 		var pe *comm.PeerError
 		if errors.As(err, &pe) {
 			log.Fatalf("%scluster failed: host %d is dead: %v", prefix, pe.Host, err)
 		}
 		log.Fatal(prefix, err)
 	}
+
+	// The run converged: disarm before teardown. Ranks exit at their own
+	// pace, so a faster peer's EOF during our verification below is an
+	// orderly goodbye, not a death worth a postmortem bundle.
+	trace.Arm(nil)
 
 	// Each process can only check the masters it owns; together the
 	// processes cover every node.
@@ -234,13 +260,14 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 }
 
 // runDemo is the self-contained mode: every rank lives in this process.
-func runDemo(addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut string) {
+func runDemo(addrs []string, parts []*partition.Partition, csr *gluon.CSR, source uint32, wcfg *trace.WatchdogConfig, collect, traceOut, pmDir string) {
 	hosts := len(addrs)
 
 	var tr *trace.Trace
 	if collect != "" || traceOut != "" {
 		tr = trace.New(trace.Config{Label: fmt.Sprintf("tcp-cluster demo %d hosts", hosts)})
 	}
+	armRecorder(pmDir, tr, 0, fmt.Sprintf("tcp-cluster demo, %d in-process ranks", hosts))
 
 	// Bring up the TCP mesh on localhost. Mesh establishment is bounded: a
 	// host that never comes up fails the dial with an error naming it,
@@ -305,6 +332,8 @@ func runDemo(addrs []string, parts []*partition.Partition, csr *gluon.CSR, sourc
 		}
 		log.Fatal(err)
 	}
+
+	trace.Arm(nil) // converged: endpoint teardown below is not a crash
 
 	want := ref.SSSP(csr, source)
 	for i, w := range want {

@@ -183,38 +183,53 @@ func parseFileName(name string) (host int, epoch uint64, ok bool) {
 	return h, e, true
 }
 
+// AtomicWriteFile installs data at path using the package's torn-write
+// discipline: write to "<path>.tmp", fsync, close, rename. A reader never
+// observes a partial file, and a crash mid-write leaves at most a stale
+// .tmp behind. Parent directories are created as needed. The postmortem
+// plane (internal/trace's flight recorder) shares this writer so crash
+// bundles get the same durability as checkpoints.
+func AtomicWriteFile(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "" && dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
 // WriteFile encodes the snapshot and atomically installs it under dir,
 // returning the number of bytes written.
 func WriteFile(dir string, s *Snapshot) (int, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return 0, err
-	}
 	data, err := s.Encode()
 	if err != nil {
 		return 0, err
 	}
 	final := filepath.Join(dir, fileName(s.Host, s.Epoch))
-	tmp := final + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return 0, err
-	}
-	if _, err := f.Write(data); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := os.Rename(tmp, final); err != nil {
-		os.Remove(tmp)
+	if err := AtomicWriteFile(final, data); err != nil {
 		return 0, err
 	}
 	return len(data), nil

@@ -150,6 +150,8 @@ func (f *FaultTransport) injectSend(to int, vectored bool) (kill, truncate bool,
 func (f *FaultTransport) dispatchSend(to int, tag Tag, header, payload []byte, kill, truncate bool, delay time.Duration) error {
 	if kill {
 		traceFaultf(f.tracer.rec(), f.cfg.KillPeer, "injected kill after %d sends", f.cfg.KillAfterSends)
+		crashDump(f.tracer.rec(), trace.TriggerInjectedFault, f.HostID(), f.cfg.KillPeer,
+			fmt.Errorf("%w (kill after %d sends to host %d)", ErrInjectedFault, f.cfg.KillAfterSends, f.cfg.KillPeer))
 		f.failPeerInner(f.cfg.KillPeer, ErrInjectedFault)
 		// The transport owns the payload even when the send fails.
 		PutBuf(payload)
@@ -160,6 +162,8 @@ func (f *FaultTransport) dispatchSend(to int, tag Tag, header, payload []byte, k
 		// vectors: the frame on the wire is short and unrecoverable, so the
 		// destination link is poisoned exactly as its read loop would.
 		traceFaultf(f.tracer.rec(), to, "injected mid-frame death: vectored write split after %d-byte header", len(header))
+		crashDump(f.tracer.rec(), trace.TriggerInjectedFault, f.HostID(), to,
+			fmt.Errorf("%w (vectored write split mid-frame)", ErrTruncatedFrame))
 		PutBuf(payload)
 		f.failPeerInner(to, ErrTruncatedFrame)
 		return &PeerError{Host: to, Err: fmt.Errorf("%w (vectored write split mid-frame)", ErrTruncatedFrame)}
@@ -232,6 +236,8 @@ func (f *FaultTransport) truncateThis() bool {
 // sender, mirroring what the TCP read loop does on a short read.
 func (f *FaultTransport) truncate(from int, payload []byte) error {
 	traceFaultf(f.tracer.rec(), from, "injected truncated frame (%d bytes discarded)", len(payload))
+	crashDump(f.tracer.rec(), trace.TriggerInjectedFault, f.HostID(), from,
+		fmt.Errorf("%w (payload discarded)", ErrTruncatedFrame))
 	PutBuf(payload)
 	f.failPeerInner(from, ErrTruncatedFrame)
 	return &PeerError{Host: from, Err: fmt.Errorf("%w (payload discarded)", ErrTruncatedFrame)}

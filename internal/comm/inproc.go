@@ -161,6 +161,7 @@ func (e *inprocEndpoint) Stats() Stats { return e.ctr.snapshot() }
 // return *PeerError instead of hanging.
 func (e *inprocEndpoint) FailPeer(host int, err error) {
 	traceFaultf(e.rec(), host, "peer declared dead: %v", err)
+	crashDump(e.rec(), trace.TriggerDeadHost, e.id, host, err)
 	e.mbox.poison(host, err)
 }
 

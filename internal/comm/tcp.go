@@ -2,6 +2,7 @@ package comm
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -41,9 +42,15 @@ type TCPEndpoint struct {
 }
 
 // poison marks a peer dead on the mailbox, emitting a fault trace event so
-// fault-suite runs produce a readable timeline.
+// fault-suite runs produce a readable timeline. Organic poisonings (a lost
+// connection, a malformed frame) additionally freeze a postmortem bundle
+// when a flight recorder is armed; a rejoin hold is an orderly rendezvous,
+// not a failure, and dumps nothing.
 func (e *TCPEndpoint) poison(from int, err error) {
 	traceFaultf(e.rec(), from, "peer poisoned: %v", err)
+	if !errors.Is(err, ErrRejoinHold) {
+		crashDump(e.rec(), trace.TriggerPeerPoison, e.id, from, err)
+	}
 	e.mbox.poison(from, err)
 }
 
@@ -400,6 +407,7 @@ func (e *TCPEndpoint) FailPeer(host int, err error) {
 		return
 	}
 	traceFaultf(e.rec(), host, "peer declared dead: %v", err)
+	crashDump(e.rec(), trace.TriggerDeadHost, e.id, host, err)
 	e.mbox.poison(host, err)
 	c := e.conns[host]
 	c.mu.Lock()

@@ -45,3 +45,27 @@ func traceFaultf(r *trace.Recorder, peer int, format string, args ...any) {
 	}
 	r.Emit(trace.Event{Phase: trace.PhaseFault, Start: r.Now(), Peer: int32(peer), Detail: fmt.Sprintf(format, args...)})
 }
+
+// crashDump freezes a postmortem bundle through the process's armed flight
+// recorder (trace.Arm); when disarmed the cost is one atomic load. The
+// attached recorder supplies host/round/phase when present; self is the
+// fallback rank. Only called on failure paths, never on the hot path.
+func crashDump(r *trace.Recorder, trigger trace.Trigger, self, peer int, cause error) {
+	if trace.Armed() == nil {
+		return
+	}
+	info := trace.DumpInfo{
+		Trigger: trigger,
+		Host:    self,
+		Peer:    peer,
+		Round:   trace.RoundFromRecorder,
+		Phase:   trace.NumPhases,
+		Cause:   cause,
+	}
+	if r != nil {
+		info.Host = int(r.Host())
+		info.Round = int(r.Round())
+		info.Phase = r.LivePhase()
+	}
+	trace.Crash(info)
+}

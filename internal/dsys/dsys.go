@@ -11,6 +11,7 @@ package dsys
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -201,6 +202,7 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 	if len(ts) != hosts {
 		return nil, fmt.Errorf("dsys: %d partitions but %d transports", hosts, len(ts))
 	}
+	adoptFlightTrace(&cfg)
 	if cfg.Watchdog != nil {
 		ensureLivenessTrace(&cfg)
 		eps := make([]wdEndpoint, hosts)
@@ -218,7 +220,7 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 		wg.Add(1)
 		go func(h int) {
 			defer wg.Done()
-			results[h], errs[h] = runHost(parts[h], ts[h], cfg, factory)
+			results[h], errs[h] = runHostRecover(parts[h], ts[h], cfg, factory)
 			if errs[h] != nil {
 				// Fail loudly: declare this host dead to every survivor so
 				// their pending receives return *comm.PeerError instead of
@@ -270,13 +272,14 @@ func RunWithTransports(parts []*partition.Partition, ts []comm.Transport, cfg Ru
 // before returning, so remote peers' pending receives fail with a
 // *comm.PeerError naming this host instead of blocking forever.
 func RunSingle(p *partition.Partition, t comm.Transport, cfg RunConfig, factory ProgramFactory) (*Result, error) {
+	adoptFlightTrace(&cfg)
 	if cfg.Watchdog != nil {
 		ensureLivenessTrace(&cfg)
 		wd := startRunWatchdog(cfg.Trace, []wdEndpoint{{host: p.HostID, t: t}}, t.NumHosts(), *cfg.Watchdog)
 		defer wd.stop()
 		cfg.wd = wd
 	}
-	hr, err := runHost(p, t, cfg, factory)
+	hr, err := runHostRecover(p, t, cfg, factory)
 	if err != nil {
 		t.Close() // drop the mesh so remote receives poison loudly
 		return nil, fmt.Errorf("dsys: host %d: %w", p.HostID, err)
@@ -303,6 +306,60 @@ func firstFailure(errs []error) (int, error) {
 	return -1, nil
 }
 
+// adoptFlightTrace lets an untraced run ride the armed flight recorder's
+// ring (flight-recorder mode: record cheaply, explain later). When the
+// process armed a FlightRecorder but the caller passed no Trace, the
+// recorder's own modest always-on session becomes the run's trace, so a
+// crash bundle has a tail to freeze. Disarmed or explicitly traced runs
+// are untouched.
+func adoptFlightTrace(cfg *RunConfig) {
+	if cfg.Trace == nil {
+		cfg.Trace = trace.Armed().Trace()
+	}
+}
+
+// runHostRecover is runHost behind a panic barrier: a panic anywhere in the
+// BSP round loop (a program's Round, the substrate, the driver itself)
+// becomes an error that propagates through the normal FailPeer path — so
+// one buggy operator fails the cluster loudly instead of tearing the whole
+// process down mid-rendezvous — after freezing a postmortem bundle with the
+// panic value and stack.
+func runHostRecover(p *partition.Partition, t comm.Transport, cfg RunConfig, factory ProgramFactory) (hr *hostRun, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 64<<10)
+			n := runtime.Stack(buf, false)
+			err = fmt.Errorf("dsys: panic in BSP round loop: %v", v)
+			rec := cfg.Trace.Recorder(p.HostID)
+			trace.Crash(trace.DumpInfo{
+				Trigger: trace.TriggerPanic,
+				Host:    p.HostID,
+				Peer:    -1,
+				Round:   int(rec.Round()),
+				Phase:   rec.LivePhase(),
+				Cause:   err,
+				Detail:  string(buf[:n]),
+			})
+			hr = nil
+		}
+	}()
+	return runHost(p, t, cfg, factory)
+}
+
+// dumpRestoreFailure freezes a postmortem for a failed restore or rejoin —
+// the recovery path itself dying is exactly when an operator needs the
+// forensics most.
+func dumpRestoreFailure(host int, rec *trace.Recorder, cause error) {
+	trace.Crash(trace.DumpInfo{
+		Trigger: trace.TriggerRestoreFailed,
+		Host:    host,
+		Peer:    -1,
+		Round:   int(rec.Round()),
+		Phase:   rec.LivePhase(),
+		Cause:   cause,
+	})
+}
+
 // hostRun is one host's raw outcome.
 type hostRun struct {
 	res          HostResult
@@ -322,11 +379,14 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		}
 		snap, err := ckpt.Latest(cfg.Checkpoint.Dir, p.HostID)
 		if err != nil {
+			dumpRestoreFailure(p.HostID, nil, err)
 			return nil, err
 		}
 		if snap.NumHosts != t.NumHosts() {
-			return nil, fmt.Errorf("dsys: checkpoint is for %d hosts, cluster has %d",
+			err := fmt.Errorf("dsys: checkpoint is for %d hosts, cluster has %d",
 				snap.NumHosts, t.NumHosts())
+			dumpRestoreFailure(p.HostID, nil, err)
+			return nil, err
 		}
 		restored = snap
 	}
@@ -360,6 +420,7 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 	}
 	var cp Checkpointable
 	var cw *ckpt.Writer
+	var submitEpoch func(uint64)
 	every := 0
 	if cfg.Checkpoint != nil {
 		var ok bool
@@ -367,7 +428,30 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 			return nil, fmt.Errorf("dsys: checkpointing enabled but program %q does not implement Checkpointable",
 				prog.Name())
 		}
-		cw = ckpt.NewWriter(*cfg.Checkpoint, p.HostID, cfg.Trace.CountCkptWrite)
+		// Track which epoch each completed write belongs to (the writer
+		// drains submissions in order) so the flight recorder's "last
+		// checkpoint epoch" reflects durable state, not submissions.
+		var ckq struct {
+			sync.Mutex
+			q []uint64
+		}
+		cw = ckpt.NewWriter(*cfg.Checkpoint, p.HostID, func(bytes int, err error) {
+			cfg.Trace.CountCkptWrite(bytes, err)
+			ckq.Lock()
+			var epoch uint64
+			if len(ckq.q) > 0 {
+				epoch, ckq.q = ckq.q[0], ckq.q[1:]
+			}
+			ckq.Unlock()
+			if err == nil {
+				trace.Armed().SetLastCheckpoint(epoch)
+			}
+		})
+		submitEpoch = func(epoch uint64) {
+			ckq.Lock()
+			ckq.q = append(ckq.q, epoch)
+			ckq.Unlock()
+		}
 		defer cw.Close()
 		every = cfg.Checkpoint.EveryOrDefault()
 	}
@@ -402,6 +486,7 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 			rec.Emit(trace.Event{Phase: trace.PhaseCkpt, Start: t0, Dur: rec.Now() - t0,
 				Peer: -1, Detail: fmt.Sprintf("epoch %d", epoch)})
 		}
+		submitEpoch(uint64(epoch))
 		return cw.Submit(snap)
 	}
 
@@ -409,7 +494,12 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 	// enabled: hold at the rendezvous (watchdog suspended so the stalled
 	// cluster is not escalated while it recovers), agree on the newest
 	// epoch every host can load, reload state, and rewind the cursor.
-	rejoin := func(cause error) (bool, error) {
+	rejoin := func(cause error) (ok bool, rerr error) {
+		defer func() {
+			if rerr != nil {
+				dumpRestoreFailure(p.HostID, rec, rerr)
+			}
+		}()
 		if !cfg.Rejoin || cw == nil {
 			return false, nil
 		}
@@ -460,6 +550,7 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		}
 		cfg.wd.resumeWatch()
 		if err != nil {
+			dumpRestoreFailure(p.HostID, rec, err)
 			return nil, err
 		}
 		round = int(restored.Epoch)
@@ -535,6 +626,7 @@ func runHost(p *partition.Partition, t comm.Transport, cfg RunConfig, factory Pr
 		syncDur := time.Since(syncStart)
 		hr.res.SyncTime += syncDur
 		hr.perRoundSync = append(hr.perRoundSync, syncDur)
+		cfg.Trace.ObserveRound(comp + syncDur)
 		round++
 		if global == 0 {
 			break

@@ -19,7 +19,7 @@ package dsys
 import (
 	"encoding/binary"
 	"fmt"
-	"os"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -78,6 +78,9 @@ type runWatchdog struct {
 func startRunWatchdog(tr *trace.Trace, eps []wdEndpoint, numHosts int, wcfg trace.WatchdogConfig) *runWatchdog {
 	health := trace.NewHealth(tr.Now)
 	rw := &runWatchdog{health: health}
+	// Postmortem bundles carry the cluster-wide heartbeat table when the
+	// flight recorder is armed (nil-safe when disarmed).
+	trace.Armed().SetHealth(health)
 
 	gossipEvery := wcfg.Poll
 	if gossipEvery <= 0 {
@@ -153,6 +156,20 @@ func startRunWatchdog(tr *trace.Trace, eps []wdEndpoint, numHosts int, wcfg trac
 			return
 		}
 		stallErr := &trace.StallError{Report: r}
+		// Freeze a postmortem before the PeerError cascade starts: the stall
+		// bundle names the suspect (Peer) so doctor can attribute the death
+		// even though the detector, not the suspect, writes it.
+		if len(eps) > 0 {
+			trace.Crash(trace.DumpInfo{
+				Trigger: trace.TriggerStall,
+				Host:    eps[0].host,
+				Peer:    int(r.Suspect),
+				Round:   int(r.Round),
+				Phase:   r.Phase,
+				Cause:   stallErr,
+				Detail:  r.String(),
+			})
+		}
 		for _, ep := range eps {
 			pf, ok := ep.t.(comm.PeerFailer)
 			if !ok {
@@ -170,7 +187,9 @@ func startRunWatchdog(tr *trace.Trace, eps []wdEndpoint, numHosts int, wcfg trac
 		}
 	}
 	if wcfg.Log == nil {
-		wcfg.Log = os.Stderr // fail loudly by default
+		// Fail loudly by default, through the structured handler so stall
+		// paragraphs also land in postmortem bundles' recent-log rings.
+		wcfg.Log = trace.LogWriter(trace.NewLogger("dsys"), slog.LevelWarn)
 	}
 	rw.w = trace.StartWatchdog(tr, health, wcfg)
 	return rw

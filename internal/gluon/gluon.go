@@ -174,6 +174,25 @@ func (g *Gluon) SetRecorder(r *trace.Recorder) { g.rec = r }
 // Recorder returns the attached trace recorder (nil when tracing is off).
 func (g *Gluon) Recorder() *trace.Recorder { return g.rec }
 
+// dumpInvariant freezes a postmortem bundle through the armed flight
+// recorder when a sync message violates the wire contract: the bytes
+// arrived intact — transport failures dump in comm under their own
+// triggers — but could not be decoded against the memoized proxy order.
+// Free when no flight recorder is armed; nil-safe on g.rec.
+func (g *Gluon) dumpInvariant(peer int, cause error) {
+	if trace.Armed() == nil {
+		return
+	}
+	trace.Crash(trace.DumpInfo{
+		Trigger: trace.TriggerSyncInvariant,
+		Host:    g.HostID(),
+		Peer:    peer,
+		Round:   int(g.rec.Round()),
+		Phase:   g.rec.LivePhase(),
+		Cause:   cause,
+	})
+}
+
 // syncBegin opens one Sync* call for stats purposes. Paired with syncEnd.
 func (g *Gluon) syncBegin() {
 	g.statsMu.Lock()

@@ -307,6 +307,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			comm.PutBuf(payload)
 			if err != nil {
 				releaseStages(stages)
+				g.dumpInvariant(h, err)
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, err)
 			}
 			applyIdx++
@@ -321,6 +322,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			if derr != nil {
 				comm.PutBuf(payload)
 				releaseStages(stages)
+				g.dumpInvariant(h, derr)
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, h, derr)
 			}
 			if pooled {
@@ -344,6 +346,7 @@ func SyncReduce[V Value](g *Gluon, f Field[V], updated *bitset.Bitset) error {
 			comm.PutBuf(body)
 			if derr != nil {
 				releaseStages(stages)
+				g.dumpInvariant(hp, derr)
 				return fmt.Errorf("gluon: reduce %s from host %d: %w", f.Name, hp, derr)
 			}
 			applyIdx++
@@ -463,6 +466,7 @@ func syncBroadcast[V Value](g *Gluon, f Field[V], updated *bitset.Bitset, struct
 		})
 		comm.PutBuf(payload)
 		if err != nil {
+			g.dumpInvariant(h, err)
 			return fmt.Errorf("gluon: broadcast %s from host %d: %w", f.Name, h, err)
 		}
 		if tr {

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sort"
 )
 
@@ -17,6 +19,10 @@ import (
 func WritePrometheus(w io.Writer, s *LiveStats) error {
 	bw := bufio.NewWriter(w)
 	p := func(format string, args ...any) { fmt.Fprintf(bw, format, args...) }
+
+	p("# HELP gluon_build_info Build metadata as constant-1 labels.\n")
+	p("# TYPE gluon_build_info gauge\n")
+	p("gluon_build_info{version=%q,goversion=%q} 1\n", buildVersion(), runtime.Version())
 
 	p("# HELP gluon_trace_events_total Trace events recorded this session.\n")
 	p("# TYPE gluon_trace_events_total counter\n")
@@ -88,7 +94,57 @@ func WritePrometheus(w io.Writer, s *LiveStats) error {
 	for _, name := range sortedKeys(s.Modes) {
 		p("gluon_encode_mode_total{mode=%q} %d\n", name, s.Modes[name])
 	}
+
+	p("# HELP gluon_postmortem_dumps_total Postmortem bundles written, by trigger.\n")
+	p("# TYPE gluon_postmortem_dumps_total counter\n")
+	dumps := Armed().DumpCounts()
+	for i, tr := range Triggers {
+		p("gluon_postmortem_dumps_total{trigger=%q} %d\n", string(tr), dumps[i])
+	}
+
+	writeHistogram(p, "gluon_round_latency_seconds",
+		"BSP round wall time distribution (dsys runner, completed rounds).", s.RoundLatency)
+	writeHistogram(p, "gluon_sync_message_bytes",
+		"Per-message sync payload byte distribution (encode spans).", s.SyncMsgBytes)
 	return bw.Flush()
+}
+
+// writeHistogram renders one HistLive as a Prometheus histogram: cumulative
+// le buckets, +Inf, sum, count. A nil snapshot still emits HELP/TYPE and an
+// empty histogram so the series exists from the first scrape.
+func writeHistogram(p func(string, ...any), name, help string, h *HistLive) {
+	p("# HELP %s %s\n", name, help)
+	p("# TYPE %s histogram\n", name)
+	var cum uint64
+	if h != nil {
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			p("%s_bucket{le=%q} %d\n", name, formatBound(b), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		p("%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+		p("%s_sum %g\n", name, h.Sum)
+		p("%s_count %d\n", name, h.Count)
+		return
+	}
+	p("%s_bucket{le=\"+Inf\"} 0\n", name)
+	p("%s_sum 0\n", name)
+	p("%s_count 0\n", name)
+}
+
+// formatBound renders a bucket bound the way Prometheus expects (no
+// exponent for round numbers, minimal digits otherwise).
+func formatBound(b float64) string {
+	return fmt.Sprintf("%g", b)
+}
+
+// buildVersion reads the main module's version from the embedded build info
+// ("(devel)" for plain source builds, a tag or pseudo-version otherwise).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		return bi.Main.Version
+	}
+	return "unknown"
 }
 
 // sortedKeys returns a map's keys in lexical order so scrapes are stable.

@@ -232,6 +232,68 @@ type Trace struct {
 	ckptBytes    atomic.Uint64
 	ckptErrors   atomic.Uint64
 	ckptRestores atomic.Uint64
+
+	// Histograms rendered by the Prometheus exposition: BSP round latency
+	// (observed by dsys once per round) and per-message sync payload bytes
+	// (observed in Emit on encode spans). Fixed exponential buckets, one
+	// atomic add per observation; the last slot is the overflow (+Inf).
+	roundHist  [numRoundBuckets + 1]atomic.Uint64
+	roundSumNs atomic.Int64
+	roundCount atomic.Uint64
+	msgHist    [numMsgBuckets + 1]atomic.Uint64
+	msgSum     atomic.Uint64
+	msgCount   atomic.Uint64
+}
+
+// Round-latency buckets: 1ms·2^i for i in [0,16) — 1ms up to ~33s, then
+// overflow. Sync-message-bytes buckets: 64B·4^i for i in [0,9) — 64B up to
+// 4MiB, then overflow.
+const (
+	numRoundBuckets = 16
+	numMsgBuckets   = 9
+)
+
+// RoundBucketNs returns round-latency bucket i's upper bound in nanoseconds.
+func RoundBucketNs(i int) int64 { return int64(time.Millisecond) << i }
+
+// MsgBucketBytes returns sync-message-bytes bucket i's upper bound.
+func MsgBucketBytes(i int) uint64 { return 64 << (2 * i) }
+
+// ObserveRound records one completed BSP round's wall time into the
+// round-latency histogram. Safe on a nil Trace; called once per round by
+// the dsys runner (not on the sync hot path).
+func (t *Trace) ObserveRound(d time.Duration) {
+	if t == nil {
+		return
+	}
+	i := 0
+	for i < numRoundBuckets && int64(d) > RoundBucketNs(i) {
+		i++
+	}
+	t.roundHist[i].Add(1)
+	t.roundSumNs.Add(int64(d))
+	t.roundCount.Add(1)
+}
+
+// observeMsgBytes records one encode span's payload bytes.
+func (t *Trace) observeMsgBytes(n uint64) {
+	i := 0
+	for i < numMsgBuckets && n > MsgBucketBytes(i) {
+		i++
+	}
+	t.msgHist[i].Add(1)
+	t.msgSum.Add(n)
+	t.msgCount.Add(1)
+}
+
+// HistLive is one histogram's live snapshot: per-bucket counts (not
+// cumulative; the final slot is the overflow bucket) with upper Bounds in
+// base units (seconds or bytes).
+type HistLive struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
 }
 
 // CountCkptWrite records one completed checkpoint write of the given size
@@ -485,6 +547,7 @@ func (r *Recorder) Emit(e Event) {
 		t.value.Add(e.Value)
 		t.meta.Add(e.Meta)
 		t.gid.Add(e.GID)
+		t.observeMsgBytes(e.Value + e.Meta + e.GID)
 		if e.Mode >= 0 && e.Mode < NumModes {
 			t.modeCount[e.Mode].Add(1)
 		}
@@ -656,6 +719,11 @@ type LiveStats struct {
 	CkptRestores uint64               `json:"ckpt_restores,omitempty"`
 	Phases       map[string]PhaseLive `json:"phases"`
 	Modes        map[string]uint64    `json:"modes"`
+	// RoundLatency (seconds) and SyncMsgBytes (bytes) are the histogram
+	// snapshots behind the Prometheus gluon_round_latency_seconds and
+	// gluon_sync_message_bytes series.
+	RoundLatency *HistLive `json:"round_latency,omitempty"`
+	SyncMsgBytes *HistLive `json:"sync_message_bytes,omitempty"`
 }
 
 // TotalBytes returns the live payload byte total.
@@ -694,6 +762,36 @@ func (t *Trace) Live() LiveStats {
 		if c := t.modeCount[m].Load(); c > 0 {
 			s.Modes[ModeName(int8(m))] = c
 		}
+	}
+	if t.roundCount.Load() > 0 {
+		h := &HistLive{
+			Bounds: make([]float64, numRoundBuckets),
+			Counts: make([]uint64, numRoundBuckets+1),
+			Sum:    float64(t.roundSumNs.Load()) / 1e9,
+			Count:  t.roundCount.Load(),
+		}
+		for i := 0; i < numRoundBuckets; i++ {
+			h.Bounds[i] = float64(RoundBucketNs(i)) / 1e9
+		}
+		for i := range h.Counts {
+			h.Counts[i] = t.roundHist[i].Load()
+		}
+		s.RoundLatency = h
+	}
+	if t.msgCount.Load() > 0 {
+		h := &HistLive{
+			Bounds: make([]float64, numMsgBuckets),
+			Counts: make([]uint64, numMsgBuckets+1),
+			Sum:    float64(t.msgSum.Load()),
+			Count:  t.msgCount.Load(),
+		}
+		for i := 0; i < numMsgBuckets; i++ {
+			h.Bounds[i] = float64(MsgBucketBytes(i))
+		}
+		for i := range h.Counts {
+			h.Counts[i] = t.msgHist[i].Load()
+		}
+		s.SyncMsgBytes = h
 	}
 	return s
 }
