@@ -6,11 +6,11 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-fault restore-gate bench sync-bench trace-guard trace-smoke watchdog-smoke doctor-smoke
+.PHONY: check fmt vet build test race race-fault restore-gate bench sync-bench trace-guard trace-smoke watchdog-smoke doctor-smoke top-smoke
 
 # trace-guard runs before the race gates: it measures wall time, and the
 # race suites leave the machine hot enough to skew it.
-check: fmt vet build trace-guard trace-smoke watchdog-smoke doctor-smoke race-fault restore-gate race
+check: fmt vet build trace-guard trace-smoke watchdog-smoke doctor-smoke top-smoke race-fault restore-gate race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -72,6 +72,13 @@ watchdog-smoke:
 # trigger, and the round — under the race detector (DESIGN.md §4.7).
 doctor-smoke:
 	$(GO) test -race -count=1 -run 'TestDoctorSmoke' ./internal/dsys/
+
+# Top smoke: a traced in-process cluster shipped over the sideband with a
+# programmatic live subscription attached (the gluon-top path) must observe
+# nonzero round progress and emit a critical-path verdict, under the race
+# detector (DESIGN.md §4.8).
+top-smoke:
+	$(GO) test -race -count=1 -run 'TestTopSmoke' ./internal/dsys/
 
 # Trace smoke: record a 4-host BFS run, then run the analyzer over the
 # export — proves the end-to-end trace path (emit, export, parse, tables).

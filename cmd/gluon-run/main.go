@@ -51,6 +51,7 @@ func main() {
 		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters (JSON + Prometheus) and pprof capture over HTTP at this address")
 		traceSummary = flag.Duration("trace-summary", 0, "print periodic trace summaries to stderr at this interval")
 		traceShip    = flag.String("trace-ship", "", "stream the trace to a collector at this address (gluon-trace -serve)")
+		topAddr      = flag.String("top-addr", "", "embed a live collector at this address so gluon-top can attach to this run")
 		pprofAddr    = flag.String("pprof-addr", "", "serve /debug/pprof/ at this address with sync phases labeled in CPU profiles")
 		watchdog     = flag.Bool("watchdog", false, "run the straggler/stall watchdog (reports to stderr)")
 		wdStall      = flag.Duration("watchdog-stall", 0, "escalate a flagged stall to a cluster failure after this long (0 = warn only)")
@@ -77,7 +78,7 @@ func main() {
 	// collection sideband.
 	var tr *trace.Trace
 	var shipClock trace.ClockInfo
-	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 || *traceShip != "" {
+	if *traceOut != "" || *metricsAddr != "" || *traceSummary > 0 || *traceShip != "" || *topAddr != "" {
 		tr = trace.New(trace.Config{Label: fmt.Sprintf("gluon-run %s/%s", *system, *benchFlg)})
 		if *metricsAddr != "" {
 			ms, err := trace.ServeMetrics(*metricsAddr, tr)
@@ -90,6 +91,18 @@ func main() {
 		if *traceSummary > 0 {
 			stop := trace.StartSummary(os.Stderr, tr, *traceSummary)
 			defer stop()
+		}
+		if *topAddr != "" {
+			// An embedded collector makes this single process watchable: the
+			// local trace feeds the critical-path engine directly, and any
+			// gluon-top (or remote shipper) can attach at this address.
+			col, err := trace.ListenAndCollect(*topAddr)
+			if err != nil {
+				fatal(err)
+			}
+			col.SetLocal(tr)
+			defer col.Close()
+			logger.Info("live dashboard collector listening", "addr", col.Addr(), "watch", "gluon-top "+col.Addr())
 		}
 		if *traceShip != "" {
 			sh, err := trace.StartShipper(trace.ShipperConfig{Addr: *traceShip, Trace: tr})

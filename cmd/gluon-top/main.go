@@ -1,0 +1,345 @@
+// Command gluon-top is a live terminal dashboard for a running gluon
+// cluster. It attaches to any trace collector's sideband address — the
+// standalone `gluon-trace -serve` process or a collector embedded with
+// `gluon-run -top-addr` / `examples/tcp-cluster -collect` — subscribes to
+// the live update stream, and refreshes a top(1)-style view:
+//
+//   - per-host round cursor, current phase, heartbeat staleness, and a
+//     proportional path-breakdown bar (compute/encode/wire/recv-wait/fold/
+//     apply/straggler-wait) from the critical-path engine
+//   - shipper session states, so a host that died shows as DISCONNECTED
+//     with the reason instead of silently freezing
+//   - the rolling critical-path verdict and the last few per-round gating
+//     attributions
+//   - a communication-volume sparkline and the optimization ledger
+//
+// With -o jsonl it prints each update as one JSON line instead of drawing,
+// for scripting; -once exits after the first update (the snapshot).
+//
+// Usage:
+//
+//	gluon-top [-refresh 1s] [-rounds 8] [-o jsonl] [-once] collector-addr
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"gluon/internal/trace"
+)
+
+var logger = trace.NewLogger("gluon-top")
+
+// staleAfter is when a host's heartbeat is flagged as stale on the board.
+const staleAfter = 3 * time.Second
+
+func main() {
+	refresh := flag.Duration("refresh", time.Second, "minimum redraw interval")
+	rounds := flag.Int("rounds", 8, "trailing critical-path rounds to show")
+	output := flag.String("o", "", `"jsonl" streams updates as JSON lines instead of drawing`)
+	once := flag.Bool("once", false, "print one update and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: gluon-top [-refresh d] [-rounds n] [-o jsonl] [-once] collector-addr\n\n")
+		fmt.Fprintf(os.Stderr, "Attaches to a gluon trace collector (gluon-trace -serve, gluon-run -top-addr,\nor examples/tcp-cluster -collect) and renders a live cluster dashboard.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addr := flag.Arg(0)
+
+	w, err := trace.AttachWatcher(addr, 5*time.Second)
+	if err != nil {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+	defer w.Close()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	jsonl := *output == "jsonl"
+	board := newBoard(*rounds, addr)
+	if !jsonl {
+		fmt.Print("\x1b[?25l\x1b[2J") // hide cursor, clear once
+		defer fmt.Print("\x1b[?25h\n")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	lastDraw := time.Time{}
+	for {
+		select {
+		case <-sig:
+			return
+		case u, ok := <-w.Updates():
+			if !ok {
+				if err := w.Err(); err != nil {
+					if !jsonl {
+						fmt.Print("\x1b[?25h\n")
+					}
+					logger.Error("subscription ended", "err", err)
+					os.Exit(1)
+				}
+				return
+			}
+			board.observe(&u)
+			if jsonl {
+				if err := enc.Encode(&u); err != nil {
+					logger.Error(err.Error())
+					os.Exit(1)
+				}
+			} else {
+				// Updates can arrive faster than a terminal is worth
+				// redrawing; coalesce to the refresh interval (but never
+				// skip the first frame or a final -once frame).
+				if time.Since(lastDraw) >= *refresh || lastDraw.IsZero() || *once {
+					board.draw(os.Stdout, &u)
+					lastDraw = time.Now()
+				}
+			}
+			if *once {
+				return
+			}
+		}
+	}
+}
+
+// board holds the cross-update state a dashboard needs: the byte-volume
+// history behind the sparkline.
+type board struct {
+	rounds    int
+	addr      string
+	lastBytes uint64
+	lastNs    int64
+	rates     []float64 // bytes/sec samples, newest last
+}
+
+func newBoard(rounds int, addr string) *board {
+	return &board{rounds: rounds, addr: addr}
+}
+
+// observe folds an update into the rate history.
+func (b *board) observe(u *trace.ViewUpdate) {
+	total := u.Stats.ValueBytes + u.Stats.MetaBytes + u.Stats.GIDBytes
+	if b.lastNs != 0 && u.NowNs > b.lastNs && total >= b.lastBytes {
+		dt := float64(u.NowNs-b.lastNs) / 1e9
+		b.rates = append(b.rates, float64(total-b.lastBytes)/dt)
+		if len(b.rates) > 48 {
+			b.rates = b.rates[len(b.rates)-48:]
+		}
+	}
+	b.lastBytes, b.lastNs = total, u.NowNs
+}
+
+func (b *board) draw(out *os.File, u *trace.ViewUpdate) {
+	var s strings.Builder
+	s.WriteString("\x1b[H") // home; \x1b[K per line, \x1b[J at end
+	line := func(format string, args ...any) {
+		fmt.Fprintf(&s, format, args...)
+		s.WriteString("\x1b[K\n")
+	}
+
+	label := u.Label
+	if label == "" {
+		label = "gluon"
+	}
+	line("gluon-top — %s @ %s    round %d    seq %d    %s",
+		label, b.addr, u.Stats.MaxRound, u.Seq, time.Now().Format("15:04:05"))
+	line("")
+
+	// Session states: a disconnected shipper is the load-bearing fact.
+	disconnected := map[int32]string{}
+	if len(u.Sessions) > 0 {
+		parts := make([]string, 0, len(u.Sessions))
+		for _, si := range u.Sessions {
+			name := fmt.Sprintf("#%d", si.ID)
+			if len(si.Hosts) > 0 {
+				name = fmt.Sprintf("#%d hosts %v", si.ID, si.Hosts)
+			}
+			switch si.State {
+			case "error":
+				parts = append(parts, fmt.Sprintf("\x1b[31m%s DISCONNECTED (%s)\x1b[0m", name, si.Error))
+				for _, h := range si.Hosts {
+					disconnected[h] = si.Error
+				}
+			case "done":
+				parts = append(parts, fmt.Sprintf("%s done", name))
+			default:
+				parts = append(parts, fmt.Sprintf("%s active", name))
+			}
+		}
+		line("sessions: %s", strings.Join(parts, " · "))
+		line("")
+	}
+
+	// Per-host rows: heartbeat cursor + path-breakdown bar.
+	hosts := hostRows(u)
+	if len(hosts) > 0 {
+		line("%5s %7s %-10s %7s %10s  %-34s", "host", "round", "phase", "beat", "bytes", "path breakdown (attributed rounds)")
+		for _, h := range hosts {
+			status := ""
+			switch {
+			case disconnected[h.host] != "":
+				status = "  \x1b[31mDISCONNECTED\x1b[0m"
+			case h.haveBeat && h.stale > staleAfter:
+				status = fmt.Sprintf("  \x1b[33mSTALE %v\x1b[0m", h.stale.Round(time.Second))
+			}
+			beat := "-"
+			if h.haveBeat {
+				beat = h.stale.Round(100 * time.Millisecond).String()
+			}
+			line("%5d %7s %-10s %7s %10s  %-34s%s",
+				h.host, h.round, h.phase, beat, h.bytes, h.bar, status)
+		}
+		line("")
+	}
+
+	// Comm-volume sparkline.
+	if len(b.rates) > 0 {
+		cur := b.rates[len(b.rates)-1]
+		line("comm  %s  %s/s", sparkline(b.rates, 48), fmtBytes(uint64(cur)))
+		line("")
+	}
+
+	// Trailing critical-path rounds + rolling verdict.
+	tail := u.Rounds
+	if len(tail) > b.rounds {
+		tail = tail[len(tail)-b.rounds:]
+	}
+	if len(tail) > 0 {
+		line("critical path (last %d rounds):", len(tail))
+		for i := range tail {
+			r := &tail[i]
+			line("  round %-5d wall %-10v gate host %-3d %-15s margin %v",
+				r.Round, time.Duration(r.WallNs).Round(time.Microsecond), r.Gate,
+				r.GatePhase, time.Duration(r.MarginNs).Round(time.Microsecond))
+		}
+	}
+	line("verdict: %s", u.Verdict.String())
+	if u.Ledger.BaselineBytes > 0 {
+		line("ledger: shipped %s vs naive %s — sparsity %s · invariants %s · compression %s",
+			fmtBytes(u.Ledger.ShippedBytes), fmtBytes(u.Ledger.BaselineBytes),
+			fmtBytes(u.Ledger.SparsitySavedBytes), fmtBytes(u.Ledger.InvariantSavedBytes),
+			fmtBytes(u.Ledger.CompressionSavedBytes))
+	}
+	s.WriteString("\x1b[J") // clear whatever an earlier, taller frame left
+	out.WriteString(s.String())
+}
+
+// hostRow is one rendered host line.
+type hostRow struct {
+	host     int32
+	round    string
+	phase    string
+	haveBeat bool
+	stale    time.Duration
+	bytes    string
+	bar      string
+}
+
+// hostRows joins heartbeats (live cursor) with the attribution totals
+// (breakdown bar), keyed by host.
+func hostRows(u *trace.ViewUpdate) []hostRow {
+	rows := map[int32]*hostRow{}
+	get := func(h int32) *hostRow {
+		r := rows[h]
+		if r == nil {
+			r = &hostRow{host: h, round: "-", phase: "-", bytes: "-", bar: ""}
+			rows[h] = r
+		}
+		return r
+	}
+	for _, hb := range u.Hearts {
+		r := get(hb.Host)
+		r.round = fmt.Sprintf("%d", hb.Round)
+		r.phase = hb.Phase.String()
+		r.haveBeat = true
+		r.stale = time.Duration(u.NowNs - hb.BeatNs)
+		if r.stale < 0 {
+			r.stale = 0
+		}
+		r.bytes = fmtBytes(hb.Bytes)
+	}
+	for i := range u.Hosts {
+		hp := &u.Hosts[i]
+		r := get(hp.Host)
+		r.bar = phaseBar(hp, 34)
+		if r.bytes == "-" {
+			r.bytes = fmtBytes(hp.Bytes)
+		}
+	}
+	out := make([]hostRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].host < out[j].host })
+	return out
+}
+
+// barGlyphs maps each CritPhase to the character filling its bar segment.
+var barGlyphs = [trace.NumCritPhases]byte{'c', 'e', 'w', 'r', 'f', 'a', '~'}
+
+// phaseBar renders a host's taxonomy split as a fixed-width proportional
+// bar: c=compute e=encode w=wire r=recvwait f=fold a=apply ~=straggler-wait.
+func phaseBar(h *trace.HostPhaseSum, width int) string {
+	total := h.TotalNs()
+	if total <= 0 {
+		return strings.Repeat(".", width)
+	}
+	var bar []byte
+	for p := trace.CritPhase(0); p < trace.NumCritPhases; p++ {
+		n := int(float64(h.SubNs[p]) / float64(total) * float64(width))
+		for i := 0; i < n && len(bar) < width; i++ {
+			bar = append(bar, barGlyphs[p])
+		}
+	}
+	for len(bar) < width {
+		bar = append(bar, '.')
+	}
+	return string(bar)
+}
+
+// sparkGlyphs are the eight block heights of the comm sparkline.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+func sparkline(vals []float64, width int) string {
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	var max float64
+	for _, v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return strings.Repeat(" ", len(vals))
+	}
+	var s strings.Builder
+	for _, v := range vals {
+		i := int(v / max * float64(len(sparkGlyphs)-1))
+		s.WriteRune(sparkGlyphs[i])
+	}
+	return s.String()
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

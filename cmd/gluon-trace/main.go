@@ -4,14 +4,23 @@
 // communication volume and time, per-peer skew, phase time breakdown, the
 // encoding-mode histogram, and any fault timeline.
 //
+// With -critical it prints the critical-path attribution instead: per round,
+// which host arrived at the termination barrier last and which of its phases
+// (compute / encode / wire / recv-wait / fold / apply / straggler-wait)
+// dominated, plus the optimization-effectiveness ledger — bytes shipped
+// against a modeled naive dense broadcast, split by compression, update-mask
+// sparsity, and invariant skips, with the sync time each saving is worth at
+// the observed wire rate.
+//
 // With -serve it becomes the standalone trace collector for multi-process
 // clusters: every process points its trace shipper at the listen address,
 // and gluon-trace merges the shipped events onto one clock-aligned timeline,
-// writes it to -o, and prints the same tables.
+// writes it to -o, and prints the same tables. gluon-top can attach to the
+// same address while the run is live.
 //
 // Usage:
 //
-//	gluon-trace [-json] trace-file
+//	gluon-trace [-json] [-critical] [-top n] trace-file
 //	gluon-trace -serve :9123 -sessions 4 -o cluster.trace.json
 package main
 
@@ -33,19 +42,23 @@ var logger = trace.NewLogger("gluon-trace")
 func main() {
 	asJSON := flag.Bool("json", false, "emit the summary as JSON instead of tables")
 	label := flag.String("label", "", "override the label shown in the header")
+	critical := flag.Bool("critical", false, "print critical-path attribution (gating host/phase per round + optimization ledger) instead of the standard tables")
+	top := flag.Int("top", 20, "cap the per-peer skew table at the n heaviest pairs (0 = all)")
 	serve := flag.String("serve", "", "run as a trace collector listening on this address instead of reading a file")
 	sessions := flag.Int("sessions", 0, "with -serve: exit after this many shipper sessions complete (0 = run until interrupted)")
 	out := flag.String("o", "", "with -serve: write the merged cluster trace to this file (.jsonl = JSONL, else Chrome)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: gluon-trace [-json] trace-file\n")
+		fmt.Fprintf(os.Stderr, "usage: gluon-trace [-json] [-critical] [-top n] trace-file\n")
 		fmt.Fprintf(os.Stderr, "       gluon-trace -serve addr [-sessions n] [-o merged.json]\n\n")
-		fmt.Fprintf(os.Stderr, "Reads a Chrome trace_event or JSONL export written by gluon-run/gluon-bench -trace\nand prints per-round, per-peer, and per-phase tables, or (with -serve) collects\nand merges traces shipped live from a multi-process cluster.\n\n")
+		fmt.Fprintf(os.Stderr, "Reads a Chrome trace_event or JSONL export written by gluon-run/gluon-bench -trace\nand prints per-round, per-peer, and per-phase tables (-critical for barrier-gating\nattribution and the optimization ledger), or (with -serve) collects and merges\ntraces shipped live from a multi-process cluster.\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
+	opts := reportOpts{asJSON: *asJSON, critical: *critical, peerCap: *top}
+
 	if *serve != "" {
-		if err := runCollector(*serve, *sessions, *out, *label, *asJSON); err != nil {
+		if err := runCollector(*serve, *sessions, *out, *label, opts); err != nil {
 			fatal(err)
 		}
 		return
@@ -69,7 +82,7 @@ func main() {
 	if *label != "" {
 		meta.Label = *label
 	}
-	if err := report(trace.SummarizeMeta(meta, events), *asJSON); err != nil {
+	if err := report(meta, events, opts); err != nil {
 		fatal(err)
 	}
 	trace.LogDropped(logger, meta.Dropped)
@@ -77,7 +90,7 @@ func main() {
 
 // runCollector is the -serve mode: accept shipper sessions until the target
 // count completes (or an interrupt arrives), then merge, export, summarize.
-func runCollector(addr string, wantSessions int, out, label string, asJSON bool) error {
+func runCollector(addr string, wantSessions int, out, label string, opts reportOpts) error {
 	col, err := trace.ListenAndCollect(addr)
 	if err != nil {
 		return err
@@ -86,7 +99,7 @@ func runCollector(addr string, wantSessions int, out, label string, asJSON bool)
 	if wantSessions > 0 {
 		finish = fmt.Sprintf("exiting after %d sessions", wantSessions)
 	}
-	logger.Info("collecting (point trace shippers here)", "addr", col.Addr(), "until", finish)
+	logger.Info("collecting (point trace shippers here; gluon-top attaches live)", "addr", col.Addr(), "until", finish)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 wait:
@@ -106,6 +119,14 @@ wait:
 	for _, e := range sessionErrs {
 		logger.Error("shipper session ended in error", "err", e)
 	}
+	broken := 0
+	for _, si := range col.SessionInfos() {
+		if si.State == "error" {
+			broken++
+			logger.Error("shipper session disconnected without bye",
+				"session", si.ID, "addr", si.Addr, "hosts", si.Hosts, "reason", si.Error)
+		}
+	}
 	events, meta := col.Merged()
 	if len(events) == 0 {
 		return fmt.Errorf("no trace events collected (were shippers pointed at %s?)", col.Addr())
@@ -119,19 +140,40 @@ wait:
 		}
 		logger.Info("wrote merged trace", "events", len(events), "path", out)
 	}
-	if err := report(trace.SummarizeMeta(meta, events), asJSON); err != nil {
+	if err := report(meta, events, opts); err != nil {
 		return err
 	}
 	// A collector that lost sessions must not exit 0: the merged timeline is
 	// incomplete, and scripts gating on it would silently trust partial data.
-	if len(sessionErrs) > 0 {
-		return fmt.Errorf("%d shipper session(s) ended in error (listed above); merged trace is incomplete", len(sessionErrs))
+	if len(sessionErrs) > 0 || broken > 0 {
+		n := len(sessionErrs)
+		if broken > n {
+			n = broken
+		}
+		return fmt.Errorf("%d shipper session(s) ended in error (listed above); merged trace is incomplete", n)
 	}
 	return nil
 }
 
-func report(s *trace.Summary, asJSON bool) error {
-	if asJSON {
+type reportOpts struct {
+	asJSON   bool
+	critical bool
+	peerCap  int
+}
+
+func report(meta trace.Meta, events []trace.Event, opts reportOpts) error {
+	if opts.critical {
+		cp := trace.ComputeCriticalPath(meta, events)
+		if opts.asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(cp)
+		}
+		return cp.WriteTables(os.Stdout)
+	}
+	s := trace.SummarizeMeta(meta, events)
+	s.PeerCap = opts.peerCap
+	if opts.asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(s)

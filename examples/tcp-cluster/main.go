@@ -21,8 +21,10 @@
 //
 // With -collect, each process streams its trace to a gluon-trace collector
 // (`gluon-trace -serve :9123 -sessions N -o cluster.json`), which aligns
-// the per-process clocks and merges everything onto one timeline. See
-// README.md in this directory for the full recipe.
+// the per-process clocks and merges everything onto one timeline — and,
+// while the run is live, `gluon-top :9123` attaches to the same collector
+// and shows per-host round progress, the barrier-gating verdict, and any
+// disconnected rank. See README.md in this directory for the full recipe.
 package main
 
 import (
@@ -202,7 +204,7 @@ func runOneHost(host int, addrs []string, parts []*partition.Partition, csr *glu
 		if err != nil {
 			log.Fatal(prefix, err)
 		}
-		log.Printf("%sshipping trace to %s (%v)", prefix, collect, sh.Clock())
+		log.Printf("%sshipping trace to %s (%v); watch live: gluon-top %s", prefix, collect, sh.Clock(), collect)
 		trace.Armed().SetClock(sh.Clock())
 		defer func() {
 			if err := sh.Close(); err != nil {
@@ -307,7 +309,7 @@ func runDemo(addrs []string, parts []*partition.Partition, csr *gluon.CSR, sourc
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("shipping trace to %s (%v)", collect, sh.Clock())
+		log.Printf("shipping trace to %s (%v); watch live: gluon-top %s", collect, sh.Clock(), collect)
 		defer func() {
 			if err := sh.Close(); err != nil {
 				log.Printf("trace shipper: %v", err)

@@ -19,6 +19,12 @@ type Summary struct {
 	// Clocks is the per-host offset table of a merged multi-process trace
 	// (empty for single-process traces).
 	Clocks []ClockInfo `json:"clocks,omitempty"`
+	// Sessions are the sideband shipper lifecycle records of a collector
+	// merge; a session in state "error" disconnected without an orderly bye.
+	Sessions []SessionInfo `json:"sessions,omitempty"`
+	// PeerCap caps the per-peer skew table WriteTables prints (0 = all
+	// rows). The full Peers list is always kept, e.g. for JSON output.
+	PeerCap int `json:"-"`
 	// WallNs spans the earliest event start to the latest event end.
 	WallNs int64 `json:"wall_ns"`
 
@@ -81,7 +87,7 @@ func Summarize(label string, events []Event, dropped uint64) *Summary {
 // SummarizeMeta rolls events up into a Summary, carrying the export metadata
 // (label, dropped count, clock table) through for display.
 func SummarizeMeta(meta Meta, events []Event) *Summary {
-	s := &Summary{Label: meta.Label, Events: len(events), Dropped: meta.Dropped, Clocks: meta.Clocks}
+	s := &Summary{Label: meta.Label, Events: len(events), Dropped: meta.Dropped, Clocks: meta.Clocks, Sessions: meta.Sessions}
 	if len(events) == 0 {
 		return s
 	}
@@ -189,7 +195,13 @@ func SummarizeMeta(meta Meta, events []Event) *Summary {
 	for _, p := range peers {
 		s.Peers = append(s.Peers, *p)
 	}
+	// The peer table is a skew table: the point is the heaviest channels, so
+	// sort by volume descending (rank order buries the outliers on wide
+	// clusters); ties fall back to (host, peer) for determinism.
 	sort.Slice(s.Peers, func(i, j int) bool {
+		if s.Peers[i].Bytes != s.Peers[j].Bytes {
+			return s.Peers[i].Bytes > s.Peers[j].Bytes
+		}
 		if s.Peers[i].Host != s.Peers[j].Host {
 			return s.Peers[i].Host < s.Peers[j].Host
 		}
@@ -226,6 +238,22 @@ func (s *Summary) WriteTables(w io.Writer) error {
 		}
 		fmt.Fprintln(w)
 	}
+	if len(s.Sessions) > 0 {
+		fmt.Fprint(w, "sideband sessions:")
+		for _, si := range s.Sessions {
+			name := si.Addr
+			if len(si.Hosts) > 0 {
+				name = fmt.Sprintf("hosts %v", si.Hosts)
+			}
+			switch si.State {
+			case "error":
+				fmt.Fprintf(w, " #%d %s DISCONNECTED (%s);", si.ID, name, si.Error)
+			default:
+				fmt.Fprintf(w, " #%d %s %s;", si.ID, name, si.State)
+			}
+		}
+		fmt.Fprintln(w)
+	}
 	fmt.Fprintln(w)
 
 	if len(s.Rounds) > 0 {
@@ -245,10 +273,17 @@ func (s *Summary) WriteTables(w io.Writer) error {
 	}
 
 	if len(s.Peers) > 0 {
-		fmt.Fprintln(w, "per-peer volume (sender -> receiver):")
+		rows := s.Peers
+		if s.PeerCap > 0 && len(rows) > s.PeerCap {
+			rows = rows[:s.PeerCap]
+		}
+		fmt.Fprintln(w, "per-peer volume (sender -> receiver, heaviest first):")
 		fmt.Fprintf(w, "%6s %6s %8s %10s\n", "host", "peer", "msgs", "bytes")
-		for _, p := range s.Peers {
+		for _, p := range rows {
 			fmt.Fprintf(w, "%6d %6d %8d %10s\n", p.Host, p.Peer, p.Messages, fmtBytes(p.Bytes))
+		}
+		if n := len(s.Peers) - len(rows); n > 0 {
+			fmt.Fprintf(w, "  … %d lighter pairs elided (-top to adjust)\n", n)
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,351 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// synthRound appends one host's spans for one round: sequential compute /
+// sync / barrier on lane 0 (tiling [start, start+compute+sync+barrier]),
+// with the sync interior split across the taxonomy sub-phases.
+type synthRound struct {
+	host    int32
+	round   int32
+	start   int64
+	compute int64
+	// sync interior, all on worker/receiver lanes inside the sync span
+	encode, wire, recvwait, fold, apply int64
+	barrier                             int64
+	// one encode message host -> peer with these byte tags
+	peer  int32
+	value uint64
+	saved uint64
+}
+
+func (s synthRound) events() []Event {
+	syncDur := s.encode + s.wire + s.recvwait + s.fold + s.apply
+	t := s.start
+	ev := []Event{
+		{Start: t, Dur: s.compute, Host: s.host, Round: s.round, Phase: PhaseCompute, Peer: -1},
+		{Start: t + s.compute, Dur: syncDur, Host: s.host, Round: s.round, Phase: PhaseSync, Peer: -1},
+	}
+	u := t + s.compute
+	add := func(ph Phase, dur int64, lane int32) {
+		if dur == 0 {
+			return
+		}
+		e := Event{Start: u, Dur: dur, Host: s.host, Round: s.round, Phase: ph, Peer: s.peer, Lane: lane}
+		if ph == PhaseEncode {
+			e.Value, e.Saved, e.Mode = s.value, s.saved, 1
+			if s.saved > 0 {
+				e.Comp = CompShipped
+			}
+		}
+		ev = append(ev, e)
+		u += dur
+	}
+	add(PhaseEncode, s.encode, 1)
+	add(PhaseSend, s.wire, 1)
+	add(PhaseRecvWait, s.recvwait, 0)
+	add(PhaseFold, s.fold, 0)
+	add(PhaseApply, s.apply, 0)
+	ev = append(ev, Event{Start: t + s.compute + syncDur, Dur: s.barrier,
+		Host: s.host, Round: s.round, Phase: PhaseBarrier, Peer: -1, Detail: "termination"})
+	return ev
+}
+
+// goldenTimeline is a hand-built 3-host, 2-round cluster with known gating:
+// round 0 is gated by host 2 (recv-wait dominated), round 1 by host 0
+// (compute dominated). All hosts share one clock (offsets 0).
+func goldenTimeline() []Event {
+	rounds := []synthRound{
+		// round 0: everyone [0, 1000]
+		{host: 0, round: 0, start: 0, compute: 100, encode: 20, wire: 10, recvwait: 10, fold: 5, apply: 5, barrier: 850, peer: 1, value: 200, saved: 0},
+		{host: 1, round: 0, start: 0, compute: 600, encode: 40, wire: 20, recvwait: 20, fold: 10, apply: 10, barrier: 300, peer: 2, value: 150, saved: 50},
+		{host: 2, round: 0, start: 0, compute: 200, encode: 50, wire: 30, recvwait: 500, fold: 80, apply: 40, barrier: 100, peer: 0, value: 100, saved: 0},
+		// round 1: everyone [1000, 2000]
+		{host: 0, round: 1, start: 1000, compute: 800, encode: 30, wire: 20, recvwait: 30, fold: 10, apply: 10, barrier: 100, peer: 1, value: 120, saved: 0},
+		{host: 1, round: 1, start: 1000, compute: 100, encode: 20, wire: 10, recvwait: 10, fold: 5, apply: 5, barrier: 850, peer: 2, value: 80, saved: 0},
+		{host: 2, round: 1, start: 1000, compute: 300, encode: 40, wire: 20, recvwait: 20, fold: 10, apply: 10, barrier: 600, peer: 0, value: 60, saved: 0},
+	}
+	var ev []Event
+	for _, r := range rounds {
+		ev = append(ev, r.events()...)
+	}
+	return ev
+}
+
+// TestCriticalPathGolden pins the attribution of the hand-built timeline:
+// gate host, gate phase, margin, wall, and a zero residual (the synthetic
+// spans tile perfectly and share one clock).
+func TestCriticalPathGolden(t *testing.T) {
+	cp := ComputeCriticalPath(Meta{Label: "golden"}, goldenTimeline())
+	if len(cp.Rounds) != 2 {
+		t.Fatalf("attributed %d rounds, want 2", len(cp.Rounds))
+	}
+	want := []struct {
+		gate   int32
+		phase  CritPhase
+		wall   int64
+		margin int64
+	}{
+		// r0: arrivals at 150 (h0), 700 (h1), 900 (h2) -> gate h2, margin 200,
+		// recv-wait (500) dominates its buckets.
+		{gate: 2, phase: CritRecvWait, wall: 1000, margin: 200},
+		// r1: arrivals at 1900 (h0), 1150 (h1), 1400 (h2) -> gate h0, margin
+		// 500, compute (800) dominates.
+		{gate: 0, phase: CritCompute, wall: 1000, margin: 500},
+	}
+	for i, w := range want {
+		r := &cp.Rounds[i]
+		if r.Round != int32(i) {
+			t.Fatalf("rounds out of order: got %d at index %d", r.Round, i)
+		}
+		if r.Gate != w.gate || r.GatePhase != w.phase {
+			t.Errorf("round %d: gate = host %d/%v, want host %d/%v", i, r.Gate, r.GatePhase, w.gate, w.phase)
+		}
+		if r.WallNs != w.wall {
+			t.Errorf("round %d: wall = %d, want %d", i, r.WallNs, w.wall)
+		}
+		if r.MarginNs != w.margin {
+			t.Errorf("round %d: margin = %d, want %d", i, r.MarginNs, w.margin)
+		}
+		// Acceptance criterion: the gating host's sequential phases sum to
+		// the round wall time (exactly, on a shared clock).
+		if res := r.Residual(); res != 0 {
+			t.Errorf("round %d: residual = %d, want 0", i, res)
+		}
+		if len(r.Hosts) != 3 {
+			t.Errorf("round %d: %d hosts, want 3", i, len(r.Hosts))
+		}
+	}
+	v := cp.Verdict
+	if v.Rounds != 2 || len(v.Gates) != 2 {
+		t.Fatalf("verdict = %+v, want 2 rounds over 2 gates", v)
+	}
+	// Equal counts break ties by host: host 0 leads.
+	if v.Gates[0].Host != 0 || v.Gates[0].Count != 1 || v.Gates[0].Phases["compute"] != 1 {
+		t.Fatalf("verdict gates[0] = %+v", v.Gates[0])
+	}
+	if got := v.String(); !strings.Contains(got, "host 0") || !strings.Contains(got, "1/2") {
+		t.Fatalf("verdict string = %q", got)
+	}
+}
+
+// TestCriticalLedgerModel pins the naive-broadcast decomposition: with every
+// channel's capacity known, baseline == capacity × rounds summed over
+// channels, and shipped + compression + sparsity + invariant == baseline.
+func TestCriticalLedgerModel(t *testing.T) {
+	cp := ComputeCriticalPath(Meta{}, goldenTimeline())
+	l := cp.Ledger
+	if l.Rounds != 2 {
+		t.Fatalf("ledger rounds = %d, want 2", l.Rounds)
+	}
+	// Each host sends to a fixed peer on field 0 in both rounds: channels
+	// h0->1, h1->2, h2->0, two messages each.
+	if l.Channels != 3 || l.Messages != 6 {
+		t.Fatalf("ledger channels/messages = %d/%d, want 3/6", l.Channels, l.Messages)
+	}
+	wantShipped := uint64(200 + 150 + 100 + 120 + 80 + 60)
+	if l.ShippedBytes != wantShipped {
+		t.Fatalf("shipped = %d, want %d", l.ShippedBytes, wantShipped)
+	}
+	if l.CompressionSavedBytes != 50 {
+		t.Fatalf("compression saved = %d, want 50", l.CompressionSavedBytes)
+	}
+	// Capacities (max raw per channel): h0->1: max(200,120)=200; h1->2:
+	// max(150+50,80)=200; h2->0: max(100,60)=100. All channels present both
+	// rounds => no invariant savings; baseline = sum of caps × 2 rounds.
+	if l.SilentChannelRounds != 0 || l.InvariantSavedBytes != 0 {
+		t.Fatalf("invariant = %d bytes / %d silent rounds, want 0/0", l.InvariantSavedBytes, l.SilentChannelRounds)
+	}
+	wantBaseline := uint64((200 + 200 + 100) * 2)
+	if l.BaselineBytes != wantBaseline {
+		t.Fatalf("baseline = %d, want %d (sum of caps × rounds)", l.BaselineBytes, wantBaseline)
+	}
+	if got := l.ShippedBytes + l.CompressionSavedBytes + l.SparsitySavedBytes + l.InvariantSavedBytes; got != l.BaselineBytes {
+		t.Fatalf("ledger does not decompose: %d != baseline %d", got, l.BaselineBytes)
+	}
+	if l.WireNsPerByte <= 0 {
+		t.Fatalf("wire rate = %v, want > 0 (send spans present)", l.WireNsPerByte)
+	}
+}
+
+// TestCriticalLedgerInvariantSkips: a channel silent in one of two rounds is
+// charged one round of its capacity as invariant savings.
+func TestCriticalLedgerInvariantSkips(t *testing.T) {
+	ev := goldenTimeline()
+	// Add a 4th channel h0 -> 2 (field 7) that only ships in round 0.
+	ev = append(ev, Event{Start: 120, Dur: 5, Host: 0, Round: 0, Phase: PhaseEncode,
+		Peer: 2, Field: 7, Lane: 2, Value: 500, Mode: 1})
+	cp := ComputeCriticalPath(Meta{}, ev)
+	l := cp.Ledger
+	if l.Channels != 4 {
+		t.Fatalf("channels = %d, want 4", l.Channels)
+	}
+	if l.SilentChannelRounds != 1 {
+		t.Fatalf("silent channel-rounds = %d, want 1", l.SilentChannelRounds)
+	}
+	if l.InvariantSavedBytes != 500 {
+		t.Fatalf("invariant saved = %d, want 500 (one skipped round at cap)", l.InvariantSavedBytes)
+	}
+}
+
+// TestCriticalIncrementalMatchesOffline: feeding the same events through the
+// incremental builder in ragged per-host batches (with per-host clock
+// offsets applied at ingest) finalizes the same rounds, gates, and phases as
+// the offline one-shot path.
+func TestCriticalIncrementalMatchesOffline(t *testing.T) {
+	events := goldenTimeline()
+	offline := ComputeCriticalPath(Meta{}, events)
+
+	// Skew each host's raw timestamps by a fixed offset, then hand the
+	// builder the inverse — the attribution must land identically.
+	offsets := map[int32]int64{0: 0, 1: -5_000, 2: 9_999}
+	byHost := map[int32][]Event{}
+	for _, e := range events {
+		e.Start -= offsets[e.Host] // skewed local clock
+		byHost[e.Host] = append(byHost[e.Host], e)
+	}
+	b := NewCriticalBuilder()
+	for h := range byHost {
+		b.SetHostClock(h, 0)
+	}
+	// Ragged interleave: hosts advance in different-sized chunks, like
+	// shipper flushes landing in arbitrary order.
+	chunk := map[int32]int{0: 1, 1: 3, 2: 2}
+	pos := map[int32]int{}
+	for {
+		progressed := false
+		for _, h := range []int32{2, 0, 1} {
+			evs := byHost[h]
+			if pos[h] >= len(evs) {
+				continue
+			}
+			end := pos[h] + chunk[h]
+			if end > len(evs) {
+				end = len(evs)
+			}
+			b.Ingest(evs[pos[h]:end], offsets[h])
+			pos[h] = end
+			progressed = true
+		}
+		if !progressed {
+			break
+		}
+	}
+	b.FinalizeAll()
+
+	rounds := b.Rounds()
+	if len(rounds) != len(offline.Rounds) {
+		t.Fatalf("incremental finalized %d rounds, offline %d", len(rounds), len(offline.Rounds))
+	}
+	for i := range rounds {
+		got, want := rounds[i], offline.Rounds[i]
+		if got.Round != want.Round || got.Gate != want.Gate || got.GatePhase != want.GatePhase ||
+			got.WallNs != want.WallNs || got.MarginNs != want.MarginNs {
+			t.Errorf("round %d: incremental %+v != offline %+v", want.Round,
+				[]any{got.Gate, got.GatePhase, got.WallNs, got.MarginNs},
+				[]any{want.Gate, want.GatePhase, want.WallNs, want.MarginNs})
+		}
+	}
+	if lv, lo := b.Ledger(), offline.Ledger; lv.BaselineBytes != lo.BaselineBytes || lv.ShippedBytes != lo.ShippedBytes {
+		t.Fatalf("incremental ledger %+v != offline %+v", lv, lo)
+	}
+}
+
+// TestCriticalFinalizeFrontier: a round only finalizes once every known host
+// has moved past it, and late events for a finalized round are dropped
+// rather than double-attributed.
+func TestCriticalFinalizeFrontier(t *testing.T) {
+	b := NewCriticalBuilder()
+	mk := func(h, r int32, start int64) []Event {
+		return synthRound{host: h, round: r, start: start, compute: 10, barrier: 10, peer: 1 - h}.events()
+	}
+	// Two hosts in round 0: nothing can finalize yet.
+	b.Ingest(mk(0, 0, 0), 0)
+	b.Ingest(mk(1, 0, 5), 0)
+	if n := len(b.Rounds()); n != 0 {
+		t.Fatalf("finalized %d rounds before any host left round 0", n)
+	}
+	// Host 0 advances alone: host 1 still holds round 0 open.
+	b.Ingest(mk(0, 1, 100), 0)
+	if n := len(b.Rounds()); n != 0 {
+		t.Fatalf("finalized %d rounds while host 1 is still in round 0", n)
+	}
+	// Host 1 advances too: round 0 closes, both hosts attributed.
+	b.Ingest(mk(1, 1, 105), 0)
+	rounds := b.Rounds()
+	if len(rounds) != 1 || rounds[0].Round != 0 || len(rounds[0].Hosts) != 2 {
+		t.Fatalf("after both hosts advanced: %d rounds %+v", len(rounds), rounds)
+	}
+	// A late host appearing with round-0 events cannot re-open the closed
+	// round or double-attribute it.
+	b.Ingest(mk(2, 0, 0), 0)
+	b.FinalizeAll()
+	rounds = b.Rounds()
+	seen := map[int32]int{}
+	for _, r := range rounds {
+		seen[r.Round]++
+	}
+	for r, n := range seen {
+		if n != 1 {
+			t.Fatalf("round %d finalized %d times", r, n)
+		}
+	}
+	if hp := rounds[0].HostPath(2); hp != nil {
+		t.Fatal("late host 2 events leaked into already-finalized round 0")
+	}
+}
+
+// TestCriticalPathJSONRoundTrip: the attribution (with its CritPhase names)
+// survives JSON, which gluon-trace -critical -json and gluon-top -o jsonl
+// both rely on.
+func TestCriticalPathJSONRoundTrip(t *testing.T) {
+	cp := ComputeCriticalPath(Meta{Label: "rt"}, goldenTimeline())
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CriticalPath
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rounds) != len(cp.Rounds) {
+		t.Fatalf("round trip lost rounds: %d != %d", len(back.Rounds), len(cp.Rounds))
+	}
+	for i := range back.Rounds {
+		if back.Rounds[i].GatePhase != cp.Rounds[i].GatePhase {
+			t.Fatalf("round %d: phase %v != %v after round trip", i, back.Rounds[i].GatePhase, cp.Rounds[i].GatePhase)
+		}
+	}
+	if !strings.Contains(string(blob), `"gate_phase":"recvwait"`) {
+		t.Fatalf("CritPhase not serialized by name: %s", blob)
+	}
+}
+
+// TestCriticalWriteTables smoke-checks the human rendering: header, gating
+// verdict, and the ledger rows all present.
+func TestCriticalWriteTables(t *testing.T) {
+	cp := ComputeCriticalPath(Meta{Label: "tbl"}, goldenTimeline())
+	var buf bytes.Buffer
+	if err := cp.WriteTables(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"critical path (tbl):",
+		"gate-phase",
+		"recvwait",
+		"gating verdict:",
+		"optimization ledger",
+		"naive-broadcast baseline",
+		"saved by compression",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tables missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -55,16 +55,21 @@ type Meta struct {
 	Label   string      `json:"label,omitempty"`
 	Dropped uint64      `json:"dropped"`
 	Clocks  []ClockInfo `json:"clocks,omitempty"`
+	// Sessions are the sideband shipper lifecycle records of a collector
+	// merge (empty for single-process traces); a session that never said
+	// bye is preserved here with its disconnect reason.
+	Sessions []SessionInfo `json:"sessions,omitempty"`
 }
 
 // jsonlHeader is the first line of a JSONL export.
 type jsonlHeader struct {
-	Trace   string      `json:"trace"`
-	Version int         `json:"version"`
-	Label   string      `json:"label,omitempty"`
-	Events  int         `json:"events"`
-	Dropped uint64      `json:"dropped"`
-	Clocks  []ClockInfo `json:"clocks,omitempty"`
+	Trace    string        `json:"trace"`
+	Version  int           `json:"version"`
+	Label    string        `json:"label,omitempty"`
+	Events   int           `json:"events"`
+	Dropped  uint64        `json:"dropped"`
+	Clocks   []ClockInfo   `json:"clocks,omitempty"`
+	Sessions []SessionInfo `json:"sessions,omitempty"`
 }
 
 const formatVersion = 1
@@ -85,7 +90,7 @@ func WriteJSONL(w io.Writer, label string, events []Event, dropped uint64) error
 func WriteJSONLMeta(w io.Writer, meta Meta, events []Event) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	hdr := jsonlHeader{Trace: "gluon", Version: formatVersion, Label: meta.Label, Events: len(events), Dropped: meta.Dropped, Clocks: meta.Clocks}
+	hdr := jsonlHeader{Trace: "gluon", Version: formatVersion, Label: meta.Label, Events: len(events), Dropped: meta.Dropped, Clocks: meta.Clocks, Sessions: meta.Sessions}
 	if err := enc.Encode(hdr); err != nil {
 		return err
 	}
@@ -127,11 +132,12 @@ type chromeArgs struct {
 }
 
 type chromeOther struct {
-	Trace   string      `json:"trace"`
-	Version int         `json:"version"`
-	Label   string      `json:"label,omitempty"`
-	Dropped uint64      `json:"dropped"`
-	Clocks  []ClockInfo `json:"clocks,omitempty"`
+	Trace    string        `json:"trace"`
+	Version  int           `json:"version"`
+	Label    string        `json:"label,omitempty"`
+	Dropped  uint64        `json:"dropped"`
+	Clocks   []ClockInfo   `json:"clocks,omitempty"`
+	Sessions []SessionInfo `json:"sessions,omitempty"`
 }
 
 type chromeDoc struct {
@@ -157,7 +163,7 @@ func WriteChrome(w io.Writer, label string, events []Event, dropped uint64) erro
 // in memory. meta lands in otherData, where Perfetto surfaces it.
 func WriteChromeMeta(w io.Writer, meta Meta, events []Event) error {
 	bw := bufio.NewWriter(w)
-	other, err := json.Marshal(&chromeOther{Trace: "gluon", Version: formatVersion, Label: meta.Label, Dropped: meta.Dropped, Clocks: meta.Clocks})
+	other, err := json.Marshal(&chromeOther{Trace: "gluon", Version: formatVersion, Label: meta.Label, Dropped: meta.Dropped, Clocks: meta.Clocks, Sessions: meta.Sessions})
 	if err != nil {
 		return err
 	}
@@ -297,7 +303,7 @@ func readChrome(data []byte) ([]Event, Meta, error) {
 	}
 	var meta Meta
 	if doc.OtherData != nil {
-		meta = Meta{Label: doc.OtherData.Label, Dropped: doc.OtherData.Dropped, Clocks: doc.OtherData.Clocks}
+		meta = Meta{Label: doc.OtherData.Label, Dropped: doc.OtherData.Dropped, Clocks: doc.OtherData.Clocks, Sessions: doc.OtherData.Sessions}
 	}
 	events := make([]Event, 0, len(doc.TraceEvents))
 	for _, ce := range doc.TraceEvents {
@@ -350,7 +356,7 @@ func readJSONL(data []byte) ([]Event, Meta, error) {
 			if err := json.Unmarshal([]byte(line), &hdr); err != nil || hdr.Trace != "gluon" {
 				return nil, Meta{}, fmt.Errorf("trace: line %d: not a gluon trace export (missing header)", lineNo)
 			}
-			meta = Meta{Label: hdr.Label, Dropped: hdr.Dropped, Clocks: hdr.Clocks}
+			meta = Meta{Label: hdr.Label, Dropped: hdr.Dropped, Clocks: hdr.Clocks, Sessions: hdr.Sessions}
 			sawHeader = true
 			continue
 		}

@@ -1,0 +1,422 @@
+package trace
+
+// Live subscription plane. The sideband already streams every host's spans
+// to one collector; this file lets viewers tap that stream while the run is
+// still going. A viewer (gluon-top, or AttachWatcher programmatically) dials
+// the collector's sideband port, sends one sbWatch frame, and receives a
+// stream of sbUpdate frames — each a self-contained ViewUpdate snapshot of
+// the cluster: merged rollup counters, per-host heartbeats, shipper session
+// states, and the critical-path verdict the collector computes incrementally
+// as batches arrive. Self-contained updates make the attach semantics
+// trivial: the first frame IS the consistent snapshot (it carries every
+// round attributed so far), and each later frame supersedes the previous
+// one, so a viewer can never observe a torn state.
+//
+// Fan-out is bounded: each viewer gets a small queue of marshaled updates,
+// and a viewer that falls behind (stalled terminal, dead TCP peer) is
+// dropped — its connection closed — rather than ever back-pressuring the
+// collector or the shippers. The updates are pushed on a fixed cadence
+// (sbUpdateInterval) plus an immediate kick whenever a stats frame or a
+// session state change lands, so the dashboard tracks round progress at
+// shipper-flush latency, not polling latency.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// sbUpdateInterval is the fan-out cadence between kicks.
+const sbUpdateInterval = 250 * time.Millisecond
+
+// defaultViewerQueue bounds each viewer's marshaled-update queue; a viewer
+// this far behind is dropped.
+const defaultViewerQueue = 8
+
+// snapshotRounds caps the rounds a fresh viewer's first update replays;
+// steady-state updates carry tailRounds.
+const (
+	snapshotRounds = 512
+	tailRounds     = 32
+)
+
+// ViewUpdate is one push to a live viewer: the whole dashboard state.
+type ViewUpdate struct {
+	// Seq increases by one per collector-side update; gaps mean this viewer
+	// had updates dropped (it was slow but survived inside its queue).
+	Seq int64 `json:"seq"`
+	// Snapshot marks a viewer's first update, which replays the attributed
+	// round history (up to snapshotRounds) instead of just the tail.
+	Snapshot bool `json:"snapshot,omitempty"`
+	// NowNs is the collector clock at build time — subtract a heartbeat's
+	// BeatNs from it for staleness.
+	NowNs int64  `json:"now_ns"`
+	Label string `json:"label,omitempty"`
+	// Sessions are the shipper lifecycle records; a session in state
+	// "error" is a disconnected host, not a frozen one.
+	Sessions []SessionInfo `json:"sessions,omitempty"`
+	// Hearts is the latest heartbeat per host, on the collector clock.
+	Hearts []Heartbeat `json:"heartbeats,omitempty"`
+	// Stats merges the collector-local rollup with every session's last
+	// shipped rollup (histograms omitted; counters summed, MaxRound maxed).
+	Stats LiveStats `json:"stats"`
+	// Hosts / Rounds / Verdict / Ledger come from the incremental
+	// critical-path engine (critical.go).
+	Hosts   []HostPhaseSum `json:"hosts,omitempty"`
+	Rounds  []RoundPath    `json:"rounds,omitempty"`
+	Verdict Verdict        `json:"verdict"`
+	Ledger  Ledger         `json:"ledger"`
+}
+
+// sbViewer is one attached viewer: a bounded queue of marshaled updates and
+// a writer goroutine draining it to the conn.
+type sbViewer struct {
+	conn net.Conn
+	ch   chan []byte
+	quit chan struct{}
+	once sync.Once
+}
+
+func (v *sbViewer) close() {
+	v.once.Do(func() {
+		close(v.quit)
+		v.conn.Close()
+	})
+}
+
+// SetViewerQueue overrides the per-viewer update queue depth (default 8).
+// Affects viewers attached after the call; tests use 1 to force slow-viewer
+// drops deterministically.
+func (c *Collector) SetViewerQueue(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	c.viewerCap = n
+	c.mu.Unlock()
+}
+
+// Viewers returns the number of currently attached live viewers.
+func (c *Collector) Viewers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.viewers)
+}
+
+// kickLive requests an immediate fan-out (coalesced; never blocks).
+func (c *Collector) kickLive() {
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+}
+
+// addViewer registers a watching connection, queues its snapshot update, and
+// starts its writer. Returns nil if the collector is shutting down.
+func (c *Collector) addViewer(conn net.Conn) *sbViewer {
+	c.drainLocal()
+	snap, err := json.Marshal(c.buildUpdate(true))
+	if err != nil {
+		return nil
+	}
+	c.mu.Lock()
+	select {
+	case <-c.stop:
+		// Registration and the stop check share the critical section so a
+		// closing collector either sees this viewer in dropAllViewers or
+		// refuses it here — never a registered-but-unswept leak.
+		c.mu.Unlock()
+		return nil
+	default:
+	}
+	v := &sbViewer{conn: conn, ch: make(chan []byte, c.viewerCap), quit: make(chan struct{})}
+	c.viewers[v] = struct{}{}
+	c.mu.Unlock()
+	v.ch <- snap // fresh queue; cannot block
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case <-v.quit:
+				return
+			case b := <-v.ch:
+				if err := writeFrame(conn, sbUpdate, b); err != nil {
+					c.dropViewer(v)
+					return
+				}
+			}
+		}
+	}()
+	return v
+}
+
+// dropViewer detaches a viewer and closes its connection.
+func (c *Collector) dropViewer(v *sbViewer) {
+	c.mu.Lock()
+	delete(c.viewers, v)
+	c.mu.Unlock()
+	v.close()
+}
+
+func (c *Collector) dropAllViewers() {
+	c.mu.Lock()
+	vs := make([]*sbViewer, 0, len(c.viewers))
+	for v := range c.viewers {
+		vs = append(vs, v)
+	}
+	c.viewers = make(map[*sbViewer]struct{})
+	c.mu.Unlock()
+	for _, v := range vs {
+		v.close()
+	}
+}
+
+// updateLoop drains the local trace into the attribution engine and fans
+// updates out to viewers until the collector closes. It runs for the whole
+// listener lifetime (started by Serve) so local rounds are attributed even
+// before the first viewer attaches.
+func (c *Collector) updateLoop() {
+	tick := time.NewTicker(sbUpdateInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+		case <-c.kick:
+		}
+		c.drainLocal()
+		c.mu.Lock()
+		nViewers := len(c.viewers)
+		c.mu.Unlock()
+		if nViewers == 0 {
+			continue
+		}
+		b, err := json.Marshal(c.buildUpdate(false))
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		var slow []*sbViewer
+		for v := range c.viewers {
+			select {
+			case v.ch <- b:
+			default:
+				// Queue full: this viewer can't keep up. Drop it rather
+				// than stall the fan-out (and with it, nothing — shippers
+				// never wait on viewers, but memory would).
+				slow = append(slow, v)
+			}
+		}
+		for _, v := range slow {
+			delete(c.viewers, v)
+		}
+		c.mu.Unlock()
+		for _, v := range slow {
+			v.close()
+		}
+	}
+}
+
+// drainLocal feeds the collector-local trace (if any) into the attribution
+// engine and the health table. Local events are already on the reference
+// clock, so the offset is zero and the uncertainty exact.
+func (c *Collector) drainLocal() {
+	c.mu.Lock()
+	local := c.local
+	c.mu.Unlock()
+	if local == nil {
+		return
+	}
+	c.mu.Lock()
+	batches := local.SnapshotNew(&c.localCur)
+	c.mu.Unlock()
+	for _, b := range batches {
+		c.builder.SetHostClock(b.Host, 0)
+		c.builder.Ingest(b.Events, 0)
+	}
+	for _, hb := range local.Heartbeats() {
+		c.health.Update(hb)
+	}
+}
+
+// buildUpdate assembles the current dashboard state.
+func (c *Collector) buildUpdate(snapshot bool) *ViewUpdate {
+	c.mu.Lock()
+	c.seq++
+	u := &ViewUpdate{
+		Seq:      c.seq,
+		Snapshot: snapshot,
+		Label:    c.label,
+		Sessions: c.sessionInfosLocked(),
+		Stats:    c.mergedStatsLocked(),
+	}
+	local := c.local
+	c.mu.Unlock()
+	if local != nil && u.Label == "" {
+		u.Label = local.Label()
+	}
+	u.NowNs = c.now()
+	u.Hearts = c.health.Snapshot()
+	u.Hosts = c.builder.HostTotals()
+	if snapshot {
+		u.Rounds = c.builder.Tail(snapshotRounds)
+	} else {
+		u.Rounds = c.builder.Tail(tailRounds)
+	}
+	u.Verdict = c.builder.Verdict()
+	u.Ledger = c.builder.Ledger()
+	return u
+}
+
+// mergedStatsLocked sums the local rollup with every session's last shipped
+// rollup. Counters add, MaxRound takes the max, histograms are omitted
+// (their bucket layouts are per-process). Caller holds c.mu.
+func (c *Collector) mergedStatsLocked() LiveStats {
+	var out LiveStats
+	out.Label = c.label
+	add := func(s LiveStats) {
+		out.Events += s.Events
+		out.Dropped += s.Dropped
+		if s.MaxRound > out.MaxRound {
+			out.MaxRound = s.MaxRound
+		}
+		out.Messages += s.Messages
+		out.ValueBytes += s.ValueBytes
+		out.MetaBytes += s.MetaBytes
+		out.GIDBytes += s.GIDBytes
+		out.Compressed += s.Compressed
+		out.CompressSkipped += s.CompressSkipped
+		out.CompressionSaved += s.CompressionSaved
+		out.CkptWrites += s.CkptWrites
+		out.CkptBytes += s.CkptBytes
+		out.CkptErrors += s.CkptErrors
+		out.CkptRestores += s.CkptRestores
+		for name, pl := range s.Phases {
+			if out.Phases == nil {
+				out.Phases = make(map[string]PhaseLive)
+			}
+			agg := out.Phases[name]
+			agg.Count += pl.Count
+			agg.DurNs += pl.DurNs
+			out.Phases[name] = agg
+		}
+		for name, n := range s.Modes {
+			if out.Modes == nil {
+				out.Modes = make(map[string]uint64)
+			}
+			out.Modes[name] += n
+		}
+	}
+	if c.local != nil {
+		add(c.local.Live())
+	}
+	for _, s := range c.sess {
+		add(s.stats)
+	}
+	out.Dropped += c.missed
+	return out
+}
+
+// Watcher is a live subscription to a collector, as used by gluon-top.
+type Watcher struct {
+	conn net.Conn
+	ch   chan ViewUpdate
+	done chan struct{}
+
+	mu  sync.Mutex
+	err error
+}
+
+// AttachWatcher dials a collector's sideband address and subscribes to live
+// updates. The first update received is the consistent snapshot; every later
+// one supersedes it. If this watcher falls behind the collector drops it and
+// Updates closes (Err tells why).
+func AttachWatcher(addr string, dialTimeout time.Duration) (*Watcher, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("trace: dialing collector %s: %w", addr, err)
+	}
+	if err := writeFrame(conn, sbWatch, nil); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("trace: watch handshake: %w", err)
+	}
+	w := &Watcher{conn: conn, ch: make(chan ViewUpdate, 4), done: make(chan struct{})}
+	go w.readLoop()
+	return w, nil
+}
+
+func (w *Watcher) readLoop() {
+	defer close(w.done)
+	defer close(w.ch)
+	for {
+		typ, body, err := readFrame(w.conn)
+		if err != nil {
+			w.setErr(err)
+			return
+		}
+		if typ != sbUpdate {
+			w.setErr(fmt.Errorf("trace: unexpected frame type %d on watch stream", typ))
+			return
+		}
+		var u ViewUpdate
+		if err := json.Unmarshal(body, &u); err != nil {
+			w.setErr(fmt.Errorf("trace: bad update frame: %w", err))
+			return
+		}
+		// Never block on a slow consumer: shed the oldest queued update —
+		// each one supersedes its predecessors anyway.
+		for {
+			select {
+			case w.ch <- u:
+			default:
+				select {
+				case <-w.ch:
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Updates streams ViewUpdates; the channel closes when the subscription
+// ends (collector gone, watcher dropped, or Close called).
+func (w *Watcher) Updates() <-chan ViewUpdate { return w.ch }
+
+func (w *Watcher) setErr(err error) {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = err
+	}
+	w.mu.Unlock()
+}
+
+// Err reports why the subscription ended (nil while healthy or after Close).
+func (w *Watcher) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// Close detaches from the collector.
+func (w *Watcher) Close() error {
+	w.mu.Lock()
+	if w.err == nil {
+		w.err = net.ErrClosed
+	}
+	w.mu.Unlock()
+	err := w.conn.Close()
+	<-w.done
+	if err == nil || w.Err() == net.ErrClosed {
+		return nil
+	}
+	return err
+}

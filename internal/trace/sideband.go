@@ -23,13 +23,23 @@ package trace
 //	sbBatch (4): JSON HostBatch — one host's new events since the last flush
 //	sbStats (5): JSON statsFrame — LiveStats rollup + per-host heartbeats
 //	sbBye   (6): empty — orderly end of session
+//	sbWatch (7): empty — the connection is a viewer, not a shipper (live.go)
+//	sbUpdate(8): JSON ViewUpdate — collector→viewer dashboard push (live.go)
 //
-// A session is: pings (clock probes, answered statelessly), hello, then any
-// interleaving of batch/stats frames, then bye. The client measures the
-// collector-minus-client clock offset from the minimum-RTT probe (clock.go)
-// and declares it in the hello; the collector rebases that session's event
-// timestamps and heartbeats by the declared offset when merging, so spans
-// from different processes land on one time axis within ±uncertainty.
+// A shipper session is: pings (clock probes, answered statelessly), hello,
+// then any interleaving of batch/stats frames, then bye. The client measures
+// the collector-minus-client clock offset from the minimum-RTT probe
+// (clock.go) and declares it in the hello; the collector rebases that
+// session's event timestamps and heartbeats by the declared offset when
+// merging, so spans from different processes land on one time axis within
+// ±uncertainty. A viewer session (gluon-top) is one sbWatch frame, then
+// sbUpdate pushes from the collector until either side closes (live.go).
+//
+// Every shipper session ends in a terminal state: "done" after an orderly
+// bye, "error" when the connection drops or a frame is malformed mid-run —
+// so a kill -9'd host shows up as a disconnected session with a reason, not
+// a silently frozen one. The states ride in Meta.Sessions through exports
+// and the analyzer header.
 
 import (
 	"encoding/binary"
@@ -37,17 +47,20 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"time"
 )
 
 const (
-	sbHello byte = 1
-	sbPing  byte = 2
-	sbPong  byte = 3
-	sbBatch byte = 4
-	sbStats byte = 5
-	sbBye   byte = 6
+	sbHello  byte = 1
+	sbPing   byte = 2
+	sbPong   byte = 3
+	sbBatch  byte = 4
+	sbStats  byte = 5
+	sbBye    byte = 6
+	sbWatch  byte = 7
+	sbUpdate byte = 8
 )
 
 // maxSidebandFrame bounds a single frame; a flush larger than this is split
@@ -276,25 +289,66 @@ type Collector struct {
 
 	wg sync.WaitGroup
 
-	mu        sync.Mutex
-	events    []Event
-	clocks    map[int32]ClockInfo // by host, offset applied at merge
-	stats     map[string]LiveStats
-	health    *Health
-	label     string
-	missed    uint64
-	sessions  int
-	completed int
-	errs      []error
+	mu     sync.Mutex
+	events []Event
+	clocks map[int32]ClockInfo // by host, offset applied at merge
+	sess   []*sbSession        // shipper sessions in hello order
+	health *Health
+	label  string
+	missed uint64
+	errs   []error
+
+	// Live plane (live.go): incremental attribution + viewer fan-out.
+	builder   *CriticalBuilder
+	localCur  Cursor
+	viewers   map[*sbViewer]struct{}
+	viewerCap int
+	seq       int64
+	stop      chan struct{}
+	stopOnce  sync.Once
+	loopOnce  sync.Once
+	kick      chan struct{}
+}
+
+// sbSession is one shipper's lifecycle record, created at hello.
+type sbSession struct {
+	id     int
+	addr   string
+	label  string
+	hosts  map[int32]struct{}
+	state  string // "active", "done", "error"
+	errMsg string
+	stats  LiveStats
+	lastNs int64 // collector clock at the last frame received
+}
+
+// SessionInfo is the exported view of a shipper session's state; it rides in
+// Meta.Sessions and in live ViewUpdates so the analyzer and gluon-top can
+// tell a finished host from a disconnected one.
+type SessionInfo struct {
+	ID    int     `json:"id"`
+	Addr  string  `json:"addr,omitempty"`
+	Label string  `json:"label,omitempty"`
+	Hosts []int32 `json:"hosts,omitempty"`
+	// State is "active", "done" (orderly bye), or "error" (conn dropped or
+	// malformed frame mid-run); Error carries the reason for "error".
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+	// LastNs is the collector clock when the session's last frame arrived.
+	LastNs int64 `json:"last_ns,omitempty"`
 }
 
 // NewCollector creates a collector that is not yet listening; combine with
 // Serve, or use ListenAndCollect.
 func NewCollector() *Collector {
 	c := &Collector{
-		epoch:  time.Now(),
-		clocks: make(map[int32]ClockInfo),
-		stats:  make(map[string]LiveStats),
+		epoch:     time.Now(),
+		clocks:    make(map[int32]ClockInfo),
+		builder:   NewCriticalBuilder(),
+		viewers:   make(map[*sbViewer]struct{}),
+		viewerCap: defaultViewerQueue,
+		stop:      make(chan struct{}),
+		kick:      make(chan struct{}, 1),
 	}
 	c.health = NewHealth(c.now)
 	return c
@@ -357,14 +411,20 @@ func (c *Collector) Serve(ln net.Listener) {
 	c.mu.Lock()
 	c.ln = ln
 	c.mu.Unlock()
+	// The live plane runs for the listener's whole life so the attribution
+	// engine sees local events even before any viewer attaches.
+	c.loopOnce.Do(func() {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.updateLoop()
+		}()
+	})
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
 			return
 		}
-		c.mu.Lock()
-		c.sessions++
-		c.mu.Unlock()
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -373,24 +433,56 @@ func (c *Collector) Serve(ln net.Listener) {
 	}
 }
 
-// serveSession runs one shipper's session to completion.
+// serveSession runs one connection to completion — a shipper's session, or
+// a viewer's subscription once it sends sbWatch.
 func (c *Collector) serveSession(conn net.Conn) {
 	defer conn.Close()
 	var clock ClockInfo
+	var sess *sbSession
 	haveClock := false
 	sawBye := false
+	var viewer *sbViewer
+	// fail marks the session errored with a reason; the record is the
+	// terminal state gluon-top renders as "disconnected" and the analyzer
+	// surfaces in its header.
+	fail := func(reason string) {
+		if sess == nil {
+			return
+		}
+		c.mu.Lock()
+		if sess.state == "active" {
+			sess.state = "error"
+			sess.errMsg = reason
+		}
+		c.mu.Unlock()
+		c.kickLive()
+	}
 	for {
 		typ, body, err := readFrame(conn)
 		if err != nil {
-			if !sawBye && err != io.EOF {
-				c.addErr(fmt.Errorf("trace: sideband session %s: %w", conn.RemoteAddr(), err))
+			if viewer != nil {
+				c.dropViewer(viewer)
+				return
+			}
+			if !sawBye {
+				fail(fmt.Sprintf("connection lost before bye: %v", err))
+				if err != io.EOF {
+					c.addErr(fmt.Errorf("trace: sideband session %s: %w", conn.RemoteAddr(), err))
+				}
 			}
 			break
+		}
+		if sess != nil {
+			now := c.now() // before taking c.mu: now() locks it too
+			c.mu.Lock()
+			sess.lastNs = now
+			c.mu.Unlock()
 		}
 		switch typ {
 		case sbPing:
 			if len(body) != 8 {
 				c.addErr(fmt.Errorf("trace: bad ping frame (%d bytes)", len(body)))
+				fail("malformed ping frame")
 				return
 			}
 			t1 := c.now()
@@ -400,6 +492,7 @@ func (c *Collector) serveSession(conn net.Conn) {
 			binary.LittleEndian.PutUint64(pong[16:24], uint64(c.now()))
 			if err := writeFrame(conn, sbPong, pong[:]); err != nil {
 				c.addErr(err)
+				fail("pong write failed")
 				return
 			}
 		case sbHello:
@@ -411,15 +504,26 @@ func (c *Collector) serveSession(conn net.Conn) {
 			// The client measured collector-minus-client; adding that offset
 			// to client timestamps rebases them onto the collector clock.
 			clock, haveClock = h.Clock, true
+			now := c.now()
 			c.mu.Lock()
 			if c.label == "" {
 				c.label = h.Label
 			}
+			sess = &sbSession{
+				id:     len(c.sess),
+				addr:   conn.RemoteAddr().String(),
+				label:  h.Label,
+				hosts:  make(map[int32]struct{}),
+				state:  "active",
+				lastNs: now,
+			}
+			c.sess = append(c.sess, sess)
 			c.mu.Unlock()
 		case sbBatch:
 			var b HostBatch
 			if err := json.Unmarshal(body, &b); err != nil {
 				c.addErr(fmt.Errorf("trace: bad batch: %w", err))
+				fail("malformed batch frame")
 				return
 			}
 			c.mu.Lock()
@@ -430,16 +534,26 @@ func (c *Collector) serveSession(conn net.Conn) {
 				ci.Host = b.Host
 				c.clocks[b.Host] = ci
 			}
+			if sess != nil {
+				sess.hosts[b.Host] = struct{}{}
+			}
 			c.mu.Unlock()
+			// Feed the live attribution engine on the collector's time axis.
+			// Ingest reads e.Start+offset without mutating, so the raw copy
+			// kept for Merged() is untouched.
+			c.builder.SetHostClock(b.Host, clock.UncertaintyNs)
+			c.builder.Ingest(b.Events, clock.OffsetNs)
 		case sbStats:
 			var f statsFrame
 			if err := json.Unmarshal(body, &f); err != nil {
 				c.addErr(fmt.Errorf("trace: bad stats: %w", err))
+				fail("malformed stats frame")
 				return
 			}
-			key := conn.RemoteAddr().String()
 			c.mu.Lock()
-			c.stats[key] = f.Stats
+			if sess != nil {
+				sess.stats = f.Stats
+			}
 			c.mu.Unlock()
 			for _, hb := range f.Heartbeats {
 				if haveClock {
@@ -454,14 +568,31 @@ func (c *Collector) serveSession(conn net.Conn) {
 				}
 				c.health.Update(hb)
 			}
+			c.kickLive()
 		case sbBye:
 			sawBye = true
 			c.mu.Lock()
-			c.completed++
+			if sess != nil {
+				sess.state = "done"
+			}
 			c.mu.Unlock()
+			c.kickLive()
 			return
+		case sbWatch:
+			if sess != nil {
+				c.addErr(fmt.Errorf("trace: sideband session %s sent watch after hello", conn.RemoteAddr()))
+				fail("watch frame on shipper session")
+				return
+			}
+			// The conn is a viewer: register it, push a snapshot, and keep
+			// reading only to notice when it goes away.
+			viewer = c.addViewer(conn)
+			if viewer == nil {
+				return // collector shutting down
+			}
 		default:
 			c.addErr(fmt.Errorf("trace: unknown sideband frame type %d", typ))
+			fail(fmt.Sprintf("unknown frame type %d", typ))
 			return
 		}
 	}
@@ -480,11 +611,42 @@ func (c *Collector) Errs() []error {
 	return append([]error(nil), c.errs...)
 }
 
-// Sessions returns (accepted, cleanly completed) session counts.
+// Sessions returns (announced, cleanly completed) shipper session counts.
+// A session is counted when its hello arrives — viewer subscriptions
+// (gluon-top) never count — and completes on an orderly bye.
 func (c *Collector) Sessions() (accepted, completed int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.sessions, c.completed
+	for _, s := range c.sess {
+		if s.state == "done" {
+			completed++
+		}
+	}
+	return len(c.sess), completed
+}
+
+// SessionInfos returns every shipper session's lifecycle record, in arrival
+// order. Sessions in state "error" carry the disconnect reason.
+func (c *Collector) SessionInfos() []SessionInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sessionInfosLocked()
+}
+
+func (c *Collector) sessionInfosLocked() []SessionInfo {
+	out := make([]SessionInfo, 0, len(c.sess))
+	for _, s := range c.sess {
+		si := SessionInfo{
+			ID: s.id, Addr: s.addr, Label: s.label,
+			State: s.state, Error: s.errMsg, LastNs: s.lastNs,
+		}
+		for h := range s.hosts {
+			si.Hosts = append(si.Hosts, h)
+		}
+		sort.Slice(si.Hosts, func(i, j int) bool { return si.Hosts[i] < si.Hosts[j] })
+		out = append(out, si)
+	}
+	return out
 }
 
 // Health returns the cluster heartbeat table fed by shipped stats frames
@@ -492,8 +654,9 @@ func (c *Collector) Sessions() (accepted, completed int) {
 // collector process also runs hosts).
 func (c *Collector) Health() *Health { return c.health }
 
-// Close stops accepting and waits for in-flight sessions to finish. Call
-// after the shippers have Closed (each Close drains and says bye).
+// Close stops accepting, detaches every live viewer, and waits for in-flight
+// sessions to finish. Call after the shippers have Closed (each Close drains
+// and says bye).
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	ln := c.ln
@@ -501,6 +664,8 @@ func (c *Collector) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.dropAllViewers()
 	c.wg.Wait()
 	return nil
 }
@@ -539,10 +704,10 @@ func (c *Collector) Merged() ([]Event, Meta) {
 		}
 	}
 	dropped := localDropped + c.missed
-	for _, st := range c.stats {
-		dropped += st.Dropped
+	for _, s := range c.sess {
+		dropped += s.stats.Dropped
 	}
-	return events, Meta{Label: c.label, Dropped: dropped, Clocks: clocks}
+	return events, Meta{Label: c.label, Dropped: dropped, Clocks: clocks, Sessions: c.sessionInfosLocked()}
 }
 
 // WriteFile exports the merged cluster timeline, format by extension as in
