@@ -21,6 +21,7 @@ import (
 
 	"gluon/internal/bench"
 	"gluon/internal/comm"
+	"gluon/internal/perfdb"
 	"gluon/internal/trace"
 )
 
@@ -30,22 +31,28 @@ var logger = trace.NewLogger("gluon-bench")
 
 func main() {
 	var (
-		table   = flag.Int("table", 0, "run only this table (1-5)")
-		figure  = flag.String("figure", "", "run only this figure (8, 9, 10)")
-		scale   = flag.Uint("scale", 16, "graphs have 2^scale nodes")
-		ef      = flag.Uint("edgefactor", 16, "average out-degree")
-		hosts   = flag.String("hosts", "1,2,4,8", "comma-separated host counts")
-		devices = flag.String("devices", "1,2,4,8", "comma-separated device counts for D-IrGL")
-		workers = flag.Int("workers", 2, "workers per simulated host")
-		seed    = flag.Uint64("seed", 2018, "graph generation seed")
-		prIters = flag.Int("pr-iters", 50, "pagerank iteration cap")
-		prTol   = flag.Float64("pr-tol", 1e-6, "pagerank tolerance")
-		netLat  = flag.Duration("net-latency", 50*time.Microsecond, "simulated per-message link latency (0 disables)")
-		netBW   = flag.Float64("net-bandwidth", 50e6, "simulated link bandwidth, bytes/s (0 = infinite)")
-		syncOut = flag.String("sync-json", "", "run the sync hot-path microbenchmark and write JSON to this file (\"-\" for stdout), then exit")
+		table      = flag.Int("table", 0, "run only this table (1-5)")
+		figure     = flag.String("figure", "", "run only this figure (8, 9, 10)")
+		scale      = flag.Uint("scale", 16, "graphs have 2^scale nodes")
+		ef         = flag.Uint("edgefactor", 16, "average out-degree")
+		hosts      = flag.String("hosts", "1,2,4,8", "comma-separated host counts")
+		devices    = flag.String("devices", "1,2,4,8", "comma-separated device counts for D-IrGL")
+		workers    = flag.Int("workers", 2, "workers per simulated host")
+		seed       = flag.Uint64("seed", 2018, "graph generation seed")
+		prIters    = flag.Int("pr-iters", 50, "pagerank iteration cap")
+		prTol      = flag.Float64("pr-tol", 1e-6, "pagerank tolerance")
+		netLat     = flag.Duration("net-latency", 50*time.Microsecond, "simulated per-message link latency (0 disables)")
+		netBW      = flag.Float64("net-bandwidth", 50e6, "simulated link bandwidth, bytes/s (0 = infinite)")
+		syncOut    = flag.String("sync-json", "", "run the sync hot-path microbenchmark and write JSON to this file (\"-\" for stdout), then exit")
+		syncRecord = flag.Bool("sync-record", false, "run the sync hot-path microbenchmark and append it to the -perfdb history without writing a report file, then exit")
+		perfDB     = flag.String("perfdb", "", "append sync measurements to this perfdb history file (JSONL; \"\" disables recording)")
 
-		syncGuard = flag.String("sync-guard", "", "compare the sync hot path (tracing disabled) against this baseline JSON and exit non-zero on regression")
-		guardTol  = flag.Float64("guard-tol", 0.05, "fractional ns/op tolerance for -sync-guard (allocs/op may never regress)")
+		syncGuard     = flag.String("sync-guard", "", "compare the sync hot path (tracing disabled) against this baseline JSON and exit non-zero on regression")
+		guardTol      = flag.Float64("guard-tol", 0.10, "fractional tolerance for -sync-guard before noise widening (allocs/op may never regress)")
+		guardMode     = flag.String("guard-mode", "ratio", "sync-guard comparison: \"ratio\" (opt/unopt, machine-independent) or \"abs\" (absolute ns/op, same machine only)")
+		forceBaseline = flag.Bool("force-baseline", false, "gate absolute ns/op against a baseline pinned on a different machine anyway")
+		syncTiers     = flag.String("sync-tiers", "", "with -sync-json/-sync-record: measure only these comma-separated encodings (default: all)")
+		syncHosts     = flag.String("sync-hosts", "2,8", "with -sync-json/-sync-record: comma-separated host counts to measure")
 
 		traceOut     = flag.String("trace", "", "record every Gluon-based run into a trace file (Chrome trace_event JSON; .jsonl suffix = JSONL)")
 		metricsAddr  = flag.String("metrics-addr", "", "serve live trace counters as JSON over HTTP at this address")
@@ -80,7 +87,12 @@ func main() {
 	}
 
 	if *syncGuard != "" {
-		if err := bench.GuardSyncBench(os.Stdout, p, *syncGuard, *guardTol); err != nil {
+		mode := bench.GuardMode(*guardMode)
+		if mode != bench.GuardRatio && mode != bench.GuardAbs {
+			fatal(fmt.Errorf("unknown -guard-mode %q (want ratio or abs)", *guardMode))
+		}
+		opts := bench.GuardOptions{Mode: mode, ForceBaseline: *forceBaseline, PerfDB: *perfDB}
+		if err := bench.GuardSyncBench(os.Stdout, p, *syncGuard, *guardTol, opts); err != nil {
 			fatal(err)
 		}
 		fmt.Println("sync hot path within tolerance of baseline ✓")
@@ -105,18 +117,19 @@ func main() {
 		}
 	}
 
-	if *syncOut != "" {
-		out := os.Stdout
-		if *syncOut != "-" {
-			f, err := os.Create(*syncOut)
-			if err != nil {
+	if *syncOut != "" || *syncRecord {
+		fmt.Fprintf(os.Stderr, "host fingerprint: %s\n", perfdb.Probe())
+		rep, err := runSyncBench(p, *syncTiers, *syncHosts, *syncOut)
+		if err != nil {
+			fatal(fmt.Errorf("sync bench: %w", err))
+		}
+		if *perfDB != "" {
+			if err := perfdb.Append(*perfDB, rep.Record("sync-bench")); err != nil {
 				fatal(err)
 			}
-			defer f.Close()
-			out = f
-		}
-		if err := bench.WriteSyncBenchJSON(out, p); err != nil {
-			fatal(fmt.Errorf("sync-json: %w", err))
+			logger.Info("appended sync measurement to perf history", "path", *perfDB, "fp", rep.FingerprintID)
+		} else if *syncRecord {
+			fatal(fmt.Errorf("-sync-record needs -perfdb to record into"))
 		}
 		return
 	}
@@ -190,6 +203,45 @@ func main() {
 		logger.Info("wrote trace", "events", tr.Live().Events, "path", *traceOut, "analyze", "gluon-trace "+*traceOut)
 		trace.LogDropped(logger, tr.Dropped())
 	}
+}
+
+// runSyncBench measures the requested sync tiers × host counts (defaults:
+// every encoding, the pinned {2,8}), attaches the comm-probe counters, and
+// writes the report to outPath ("" = don't, "-" = stdout).
+func runSyncBench(p bench.Params, tiersCSV, hostsCSV, outPath string) (*bench.SyncBenchReport, error) {
+	hosts, err := parseInts(hostsCSV)
+	if err != nil {
+		return nil, err
+	}
+	names := bench.AllSyncEncodings()
+	if tiersCSV != "" {
+		names = nil
+		for _, t := range strings.Split(tiersCSV, ",") {
+			names = append(names, strings.TrimSpace(t))
+		}
+	}
+	rep, err := bench.SyncBenchTiers(p, hosts, names)
+	if err != nil {
+		return nil, err
+	}
+	if comm, err := bench.CommProbe(p, hosts[0]); err == nil {
+		rep.Comm = comm
+	} else {
+		logger.Warn("comm probe failed; report carries timings only", "err", err)
+	}
+	if outPath == "" {
+		return rep, nil
+	}
+	out := os.Stdout
+	if outPath != "-" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		out = f
+	}
+	return rep, bench.WriteReportJSON(out, rep)
 }
 
 func parseInts(s string) ([]int, error) {

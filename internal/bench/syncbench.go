@@ -1,11 +1,22 @@
 package bench
 
-// Sync hot-path snapshot: the same measurement as BenchmarkSyncHotPath in
-// internal/gluon, exported through gluon-bench as machine-readable JSON
-// (BENCH_sync.json at the repo root) so successive PRs have a perf
-// trajectory to compare against. One result per encoding mode × host
-// count: wall time, bytes allocated, and allocations per full cluster-wide
-// Sync (every host encodes, ships, receives, and applies one round).
+// Sync hot-path snapshot and regression gates: the same measurement as
+// BenchmarkSyncHotPath in internal/gluon, exported through gluon-bench as
+// machine-readable JSON (BENCH_sync.json at the repo root) and appended to
+// the machine-fingerprinted perfdb history (BENCH_history.jsonl) so
+// successive PRs have a perf trajectory to compare against. One result per
+// encoding mode × host count: wall time, bytes allocated, allocations, and
+// a MAD noise estimate per full cluster-wide Sync (every host encodes,
+// ships, receives, and applies one round).
+//
+// The `make check` gate is the self-calibrating RATIO gate (DESIGN.md
+// §4.9): it measures the unoptimized reference wire format and the
+// optimized tiers in the same process and compares the opt/unopt ratio
+// against the baseline's ratio, so the check passes on any machine — a 2×
+// faster host scales numerator and denominator together. Absolute ns/op
+// comparison (the pre-PR-10 gate that had to be re-pinned per machine)
+// survives as an explicit mode that refuses to run against a baseline
+// fingerprinted on different hardware.
 
 import (
 	"encoding/json"
@@ -23,7 +34,14 @@ import (
 	"gluon/internal/generate"
 	"gluon/internal/gluon"
 	"gluon/internal/partition"
+	"gluon/internal/perfdb"
+	"gluon/internal/trace"
 )
+
+// SyncReportSchema versions the BENCH_sync.json document. Version 2 added
+// the host fingerprint, per-row noise estimates, and the comm-volume
+// counters; version 1 (implicit, field absent) carried bare timings.
+const SyncReportSchema = 2
 
 // SyncBenchResult is one sync hot-path measurement.
 type SyncBenchResult struct {
@@ -32,13 +50,93 @@ type SyncBenchResult struct {
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+	// NoiseNs is the median absolute deviation of ns/op across the
+	// measurement reps — how trustworthy NsPerOp is on this machine right
+	// now. The ratio gate widens its tolerance by it.
+	NoiseNs int64 `json:"noise_ns,omitempty"`
+	// Reps is how many repetitions the min and MAD were taken over.
+	Reps int `json:"reps,omitempty"`
+}
+
+// Name is the perfdb series key for this row.
+func (r *SyncBenchResult) Name() string {
+	return fmt.Sprintf("sync/h=%d/%s", r.Hosts, r.Encoding)
 }
 
 // SyncBenchReport is the BENCH_sync.json document.
 type SyncBenchReport struct {
-	Graph   string            `json:"graph"`
-	Workers int               `json:"sync_workers"`
+	Schema  int    `json:"schema,omitempty"`
+	Graph   string `json:"graph"`
+	Workers int    `json:"sync_workers"`
+	// Fingerprint identifies the machine the snapshot was pinned on;
+	// FingerprintID is its hash, the history grouping key.
+	Fingerprint   *perfdb.Fingerprint `json:"fingerprint,omitempty"`
+	FingerprintID string              `json:"fingerprint_id,omitempty"`
+	// Comm carries the comm-volume counters from the traced probe run
+	// (trace ledger distillation), so the snapshot pins bytes as well as
+	// nanoseconds.
+	Comm    *perfdb.Comm      `json:"comm,omitempty"`
 	Results []SyncBenchResult `json:"results"`
+}
+
+// Record converts the report into a perfdb history record.
+func (rep *SyncBenchReport) Record(label string) *perfdb.Record {
+	rec := &perfdb.Record{
+		Label:   label,
+		Graph:   rep.Graph,
+		Workers: rep.Workers,
+		Comm:    rep.Comm,
+	}
+	if rep.Fingerprint != nil {
+		rec.Fingerprint = *rep.Fingerprint
+		rec.FingerprintID = rec.Fingerprint.ID()
+	}
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		rec.Benchmarks = append(rec.Benchmarks, perfdb.BenchResult{
+			Name:        r.Name(),
+			Hosts:       r.Hosts,
+			Encoding:    r.Encoding,
+			NsPerOp:     r.NsPerOp,
+			BytesPerOp:  r.BytesPerOp,
+			AllocsPerOp: r.AllocsPerOp,
+			NoiseNs:     r.NoiseNs,
+			Reps:        r.Reps,
+		})
+	}
+	return rec
+}
+
+// ReportFromRecord rebuilds a BENCH_sync.json snapshot from a perfdb
+// history record — the `gluon-perf -pin` path, which makes re-pinning a
+// projection of the history instead of a fresh ad-hoc measurement.
+func ReportFromRecord(rec *perfdb.Record) (*SyncBenchReport, error) {
+	rep := &SyncBenchReport{
+		Schema:        SyncReportSchema,
+		Graph:         rec.Graph,
+		Workers:       rec.Workers,
+		Fingerprint:   &rec.Fingerprint,
+		FingerprintID: rec.FingerprintID,
+		Comm:          rec.Comm,
+	}
+	for _, b := range rec.Benchmarks {
+		if b.Hosts == 0 || b.Encoding == "" {
+			return nil, fmt.Errorf("bench: record benchmark %q has no hosts/encoding coordinates", b.Name)
+		}
+		rep.Results = append(rep.Results, SyncBenchResult{
+			Hosts:       b.Hosts,
+			Encoding:    b.Encoding,
+			NsPerOp:     b.NsPerOp,
+			BytesPerOp:  b.BytesPerOp,
+			AllocsPerOp: b.AllocsPerOp,
+			NoiseNs:     b.NoiseNs,
+			Reps:        b.Reps,
+		})
+	}
+	if len(rep.Results) == 0 {
+		return nil, errors.New("bench: record carries no benchmarks")
+	}
+	return rep, nil
 }
 
 // syncBenchCluster mirrors the BenchmarkSyncHotPath fixture through the
@@ -184,24 +282,56 @@ func compAdaptive() gluon.Options {
 	return opt
 }
 
-// SyncBench measures the sync hot path per encoding mode × host count.
-func SyncBench(p Params) (*SyncBenchReport, error) {
-	return syncBenchFor(p, []int{2, 8}, allEncodings())
+// AllSyncEncodings names every measurable encoding tier, in report order.
+func AllSyncEncodings() []string {
+	all := allEncodings()
+	names := make([]string, len(all))
+	for i, e := range all {
+		names[i] = e.name
+	}
+	return names
+}
+
+// SyncBenchTiers measures only the named encodings (see allEncodings for
+// the valid names) — the cheap path behind the perf-trend smoke gate and
+// the root-level ratio benchmark.
+func SyncBenchTiers(p Params, hostCounts []int, names []string) (*SyncBenchReport, error) {
+	all := allEncodings()
+	var specs []encSpec
+	for _, n := range names {
+		found := false
+		for _, e := range all {
+			if e.name == n {
+				specs = append(specs, e)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("bench: unknown sync encoding %q", n)
+		}
+	}
+	return syncBenchFor(p, hostCounts, specs)
 }
 
 // measureReps repeats each row's measurement and keeps the fastest: wall
 // time on a shared machine is noisy, and load spikes only ever inflate a
 // rep, so the min estimates the true cost. Allocations are deterministic
-// and identical across reps. Eight reps (not fewer) because the guard
-// compares two independent min estimates against a 5% tolerance — on a
+// and identical across reps. Eight reps (not fewer) because the gates
+// compare two independent min estimates against a tight tolerance — on a
 // small or busy machine both must converge to the true floor or the gate
-// flaps.
+// flaps. The spread of the reps (MAD) rides along as the row's noise
+// estimate.
 const measureReps = 8
 
 func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchReport, error) {
+	fp := perfdb.Probe()
 	rep := &SyncBenchReport{
-		Graph:   fmt.Sprintf("rmat scale=%d ef=%d seed=%d cvc", p.Scale, p.EdgeFactor, p.Seed),
-		Workers: p.Workers,
+		Schema:        SyncReportSchema,
+		Graph:         fmt.Sprintf("rmat scale=%d ef=%d seed=%d cvc", p.Scale, p.EdgeFactor, p.Seed),
+		Workers:       p.Workers,
+		Fingerprint:   &fp,
+		FingerprintID: fp.ID(),
 	}
 	for _, hosts := range hostCounts {
 		for _, e := range encodings {
@@ -213,6 +343,7 @@ func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchRe
 			}
 			var benchErr error
 			var best testing.BenchmarkResult
+			reps := make([]int64, 0, measureReps)
 			for trial := 0; trial < measureReps && benchErr == nil; trial++ {
 				r := testing.Benchmark(func(b *testing.B) {
 					// Warm one round so memoization and pools are primed.
@@ -231,6 +362,7 @@ func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchRe
 						}
 					}
 				})
+				reps = append(reps, r.NsPerOp())
 				if trial == 0 || r.NsPerOp() < best.NsPerOp() {
 					best = r
 				}
@@ -245,6 +377,8 @@ func syncBenchFor(p Params, hostCounts []int, encodings []encSpec) (*SyncBenchRe
 				NsPerOp:     best.NsPerOp(),
 				BytesPerOp:  best.AllocedBytesPerOp(),
 				AllocsPerOp: best.AllocsPerOp(),
+				NoiseNs:     perfdb.MAD(reps),
+				Reps:        len(reps),
 			})
 		}
 	}
@@ -259,22 +393,75 @@ func withEncoding(enc gluon.Encoding) func() gluon.Options {
 	}
 }
 
-// WriteSyncBenchJSON runs SyncBench and writes the report as indented JSON.
-func WriteSyncBenchJSON(w io.Writer, p Params) error {
-	rep, err := SyncBench(p)
+// commProbeRounds is how many BSP rounds the traced probe runs; every
+// third round ships nothing, exercising the temporal-invariance silent
+// path so the invariant-skip share is a live number, not a constant zero.
+const commProbeRounds = 6
+
+// CommProbe runs a small instrumented cluster (static-threshold
+// compression, so the compression counters are live) for a few rounds and
+// distills the trace ledger into the comm-volume counters a perf-history
+// record carries. Timing is irrelevant here — tracing overhead doesn't
+// matter, only bytes and round structure do.
+func CommProbe(p Params, hosts int) (*perfdb.Comm, error) {
+	opt := compStatic()
+	opt.SyncWorkers = p.Workers
+	c, err := newSyncBenchCluster(p, hosts, opt)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	defer c.close()
+	tr := trace.New(trace.Config{Label: "syncbench comm probe"})
+	recs := make([]*trace.Recorder, hosts)
+	for h := 0; h < hosts; h++ {
+		recs[h] = tr.Recorder(h)
+		c.gs[h].SetRecorder(recs[h])
+	}
+	for round := 0; round < commProbeRounds; round++ {
+		for _, rec := range recs {
+			rec.SetRound(int32(round))
+		}
+		if round%3 == 2 {
+			// Silent round: the fields converged, no host ships. A barrier
+			// span marks the round's existence so the ledger charges every
+			// channel one round of invariant savings.
+			for _, rec := range recs {
+				rec.Emit(trace.Event{Start: rec.Now(), Dur: 1, Phase: trace.PhaseBarrier, Peer: -1})
+			}
+			continue
+		}
+		c.markUpdates(round + 1)
+		if err := c.syncAll(); err != nil {
+			return nil, err
+		}
+	}
+	ledger := trace.LedgerOf(tr)
+	if ledger.Rounds == 0 || ledger.ShippedBytes == 0 {
+		return nil, errors.New("bench: comm probe recorded no attributable rounds")
+	}
+	counters := ledger.Counters()
+	return &perfdb.Comm{
+		BytesPerRound:      counters.BytesPerRound,
+		CompressionRatio:   counters.CompressionRatio,
+		InvariantSkipShare: counters.InvariantSkipShare,
+	}, nil
+}
+
+// WriteReportJSON writes an already-built report as indented JSON (the
+// `gluon-perf -pin` snapshot path).
+func WriteReportJSON(w io.Writer, rep *SyncBenchReport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
 }
 
 // CompareSyncBench checks cur against base row by row (matched on
-// hosts × encoding): time per op may regress by at most tol (fractional,
-// e.g. 0.05), allocations per op may not regress at all (they are
-// machine-independent, so any increase is a real hot-path change). Rows
-// present in only one report are ignored. All violations are reported.
+// hosts × encoding) on ABSOLUTE numbers: time per op may regress by at
+// most tol (fractional, e.g. 0.05), allocations per op may not regress at
+// all (they are machine-independent, so any increase is a real hot-path
+// change). Rows present in only one report are ignored. All violations are
+// reported. Only meaningful when base and cur come from the same machine —
+// GuardSyncBench enforces that with the fingerprint check.
 func CompareSyncBench(base, cur *SyncBenchReport, tol float64) error {
 	type key struct {
 		hosts    int
@@ -310,23 +497,165 @@ func CompareSyncBench(base, cur *SyncBenchReport, tol float64) error {
 	return nil
 }
 
+// ratioNoiseCap bounds how far recorded rep noise may widen the ratio
+// band, so one chaotic measurement cannot disable the gate.
+const ratioNoiseCap = 0.25
+
+// refEncoding is the denominator of every ratio: the unoptimized
+// reference wire format, measured in the same process as the optimized
+// tiers.
+const refEncoding = "unopt"
+
+// CompareSyncRatios gates cur against base on the opt/unopt RATIO per
+// (hosts, tier): ratio_cur may exceed ratio_base by at most tol plus the
+// summed relative noise of the four measurements behind the two ratios
+// (capped at ratioNoiseCap). Machine speed cancels out of both sides, so
+// the comparison holds across hardware; allocations are still compared
+// absolutely because they are machine-independent. Rows missing a unopt
+// reference for their host count are skipped.
+func CompareSyncRatios(base, cur *SyncBenchReport, tol float64) error {
+	violations := ratioViolations(base, cur, tol)
+	if len(violations) == 0 {
+		return nil
+	}
+	msg := "sync hot-path ratio regression vs baseline (opt/unopt, machine-independent):"
+	for _, v := range violations {
+		msg += "\n  " + v.String()
+	}
+	return errors.New(msg)
+}
+
+// ratioViolation is one failed (hosts, tier) comparison.
+type ratioViolation struct {
+	Hosts      int
+	Encoding   string
+	BaseRatio  float64
+	CurRatio   float64
+	Band       float64
+	AllocsBase int64
+	AllocsCur  int64
+	Alloc      bool
+}
+
+func (v ratioViolation) String() string {
+	if v.Alloc {
+		return fmt.Sprintf("hosts=%d %s: allocs/op regressed %d -> %d", v.Hosts, v.Encoding, v.AllocsBase, v.AllocsCur)
+	}
+	return fmt.Sprintf("hosts=%d %s: opt/unopt ratio regressed %.3f -> %.3f (+%.1f%%, band +%.1f%%)",
+		v.Hosts, v.Encoding, v.BaseRatio, v.CurRatio, 100*(v.CurRatio/v.BaseRatio-1), 100*v.Band)
+}
+
+func rowIndex(rep *SyncBenchReport) map[string]*SyncBenchResult {
+	idx := make(map[string]*SyncBenchResult, len(rep.Results))
+	for i := range rep.Results {
+		r := &rep.Results[i]
+		idx[r.Name()] = r
+	}
+	return idx
+}
+
+func relNoise(r *SyncBenchResult) float64 {
+	if r.NsPerOp <= 0 {
+		return 0
+	}
+	return float64(r.NoiseNs) / float64(r.NsPerOp)
+}
+
+// ratioBand is the tolerance for one (hosts, tier) ratio comparison: tol
+// plus every contributing measurement's relative noise, capped.
+func ratioBand(tol float64, rows ...*SyncBenchResult) float64 {
+	noise := 0.0
+	for _, r := range rows {
+		noise += relNoise(r)
+	}
+	if noise > ratioNoiseCap {
+		noise = ratioNoiseCap
+	}
+	return tol + noise
+}
+
+func ratioViolations(base, cur *SyncBenchReport, tol float64) []ratioViolation {
+	baseIdx, curIdx := rowIndex(base), rowIndex(cur)
+	var out []ratioViolation
+	for _, c := range cur.Results {
+		b, ok := baseIdx[c.Name()]
+		if !ok {
+			continue
+		}
+		// Allocations gate every row, the reference included.
+		if c.AllocsPerOp > b.AllocsPerOp {
+			out = append(out, ratioViolation{Hosts: c.Hosts, Encoding: c.Encoding,
+				Alloc: true, AllocsBase: b.AllocsPerOp, AllocsCur: c.AllocsPerOp})
+		}
+		if c.Encoding == refEncoding {
+			continue
+		}
+		cRef := curIdx[(&SyncBenchResult{Hosts: c.Hosts, Encoding: refEncoding}).Name()]
+		bRef := baseIdx[(&SyncBenchResult{Hosts: c.Hosts, Encoding: refEncoding}).Name()]
+		if cRef == nil || bRef == nil || cRef.NsPerOp <= 0 || bRef.NsPerOp <= 0 || b.NsPerOp <= 0 {
+			continue
+		}
+		curRatio := float64(c.NsPerOp) / float64(cRef.NsPerOp)
+		baseRatio := float64(b.NsPerOp) / float64(bRef.NsPerOp)
+		cc := c
+		band := ratioBand(tol, &cc, cRef, b, bRef)
+		if curRatio > baseRatio*(1+band) {
+			out = append(out, ratioViolation{Hosts: c.Hosts, Encoding: c.Encoding,
+				BaseRatio: baseRatio, CurRatio: curRatio, Band: band})
+		}
+	}
+	return out
+}
+
+// GuardMode selects which comparison GuardSyncBench runs.
+type GuardMode string
+
+const (
+	// GuardRatio is the default self-calibrating gate: opt/unopt ratios,
+	// valid on any machine.
+	GuardRatio GuardMode = "ratio"
+	// GuardAbs is the legacy absolute-ns/op gate. It refuses to compare
+	// against a baseline fingerprinted on different hardware.
+	GuardAbs GuardMode = "abs"
+)
+
+// GuardOptions parameterizes GuardSyncBench beyond the tolerance.
+type GuardOptions struct {
+	Mode GuardMode
+	// ForceBaseline overrides the fingerprint refusal in GuardAbs mode.
+	ForceBaseline bool
+	// PerfDB, when non-empty, appends the guard's measurements (absolute
+	// numbers, noise, comm counters) to this history file regardless of
+	// gate outcome — the trajectory must record regressions too.
+	PerfDB string
+}
+
 // GuardSyncBench is the hot-path regression guard behind `make check`: it
-// re-measures a subset of the sync hot path with tracing disabled (the
-// default — no recorder attached) and fails if time regresses more than
-// tol or allocations regress at all versus the baseline report at
-// baselinePath (BENCH_sync.json). The guard gates the three compression
-// tiers — auto (compression off), comp-static (fixed threshold), and
-// comp-adaptive (CompressTuner policy) — plus unopt: together those cover
-// both wire formats, the whole compression decision surface, and all
-// instrumented paths; the forced-encoding rows only vary payload layout.
+// re-measures the sync hot path with tracing disabled (the default — no
+// recorder attached) across the three compression tiers — auto
+// (compression off), comp-static (fixed threshold), comp-adaptive
+// (CompressTuner policy) — plus the unopt reference wire format, all in
+// the same process (DESIGN.md §4.5, §4.9). Together those cover both wire
+// formats, the whole compression decision surface, and all instrumented
+// paths; the forced-encoding rows only vary payload layout.
+//
+// In GuardRatio mode (the default) it gates on opt/unopt ratios with a
+// noise-aware band — machine-independent, so BENCH_sync.json never needs
+// re-pinning for hardware churn. In GuardAbs mode it gates absolute ns/op
+// like the pre-PR-10 guard, but refuses a baseline fingerprinted on a
+// different machine instead of silently failing against it. Allocation
+// regressions hard-fail in both modes.
 //
 // Both the baseline and the guard measurement are min-over-reps (see
 // measureReps), so a tight tol stays meaningful on a noisy machine. Rows
 // that still exceed tol are re-measured up to guardRetries times before
-// the guard fails: a transient load spike clears on a later measurement,
-// a real hot-path regression does not. Allocation regressions are
+// the guard fails: a transient load spike clears on a later measurement, a
+// real hot-path regression does not. Allocation regressions are
 // deterministic, so retries never mask one.
-func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) error {
+func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64, opts GuardOptions) error {
+	if opts.Mode == "" {
+		opts.Mode = GuardRatio
+	}
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
 		return fmt.Errorf("bench: reading baseline: %w", err)
@@ -335,6 +664,26 @@ func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) err
 	if err := json.Unmarshal(data, &base); err != nil {
 		return fmt.Errorf("bench: parsing baseline %s: %w", baselinePath, err)
 	}
+	host := perfdb.Probe()
+	fmt.Fprintf(w, "host fingerprint:     %s\n", host)
+	switch {
+	case base.Fingerprint != nil:
+		fmt.Fprintf(w, "baseline fingerprint: %s\n", *base.Fingerprint)
+	default:
+		fmt.Fprintf(w, "baseline fingerprint: unrecorded (schema v1 baseline — run `make bench-pin`)\n")
+	}
+	sameMachine := base.Fingerprint != nil && base.Fingerprint.ID() == host.ID()
+	if opts.Mode == GuardAbs && !sameMachine && !opts.ForceBaseline {
+		baseFP := "unrecorded"
+		if base.Fingerprint != nil {
+			baseFP = base.Fingerprint.String()
+		}
+		return fmt.Errorf("bench: refusing to gate absolute ns/op against a baseline pinned on a different machine:\n"+
+			"  baseline: %s\n  this host: %s\n"+
+			"absolute timings do not transfer across hardware — use the ratio gate (default), re-pin with `make bench-pin`, or override with -force-baseline",
+			baseFP, host)
+	}
+
 	guardOpts := map[string]func() gluon.Options{
 		"auto":          gluon.Opt,
 		"unopt":         gluon.Unopt,
@@ -352,16 +701,18 @@ func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) err
 		return err
 	}
 	if cur.Graph != base.Graph || cur.Workers != base.Workers {
-		return fmt.Errorf("bench: guard config %q workers=%d does not match baseline %q workers=%d — rerun `make sync-bench`",
+		return fmt.Errorf("bench: guard config %q workers=%d does not match baseline %q workers=%d — rerun `make bench-pin`",
 			cur.Graph, cur.Workers, base.Graph, base.Workers)
 	}
 	// Five re-measure rounds: the DEFLATE tiers' floors take longer to
 	// surface on a small machine, and a retry only ever lowers the
 	// estimate, so extra rounds trade guard latency for gate stability
-	// without ever masking a real regression.
+	// without ever masking a real regression. In ratio mode the unopt
+	// reference of an offending host count is re-measured alongside the
+	// tier — both ends of the ratio deserve the transient-load benefit.
 	const guardRetries = 5
 	for retry := 0; retry < guardRetries; retry++ {
-		bad := violatingRows(&base, cur, tol)
+		bad := violatingRows(&base, cur, tol, opts.Mode)
 		if len(bad) == 0 {
 			break
 		}
@@ -369,49 +720,125 @@ func GuardSyncBench(w io.Writer, p Params, baselinePath string, tol float64) err
 			len(bad), retry+1, guardRetries)
 		for _, i := range bad {
 			row := cur.Results[i]
-			rp, err := syncBenchFor(p, []int{row.Hosts}, []encSpec{{row.Encoding, guardOpts[row.Encoding]}})
-			if err != nil {
-				return err
+			names := []string{row.Encoding}
+			if opts.Mode == GuardRatio && row.Encoding != refEncoding {
+				names = append(names, refEncoding)
 			}
-			nr := rp.Results[0]
-			if nr.NsPerOp < cur.Results[i].NsPerOp {
-				cur.Results[i].NsPerOp = nr.NsPerOp
+			for _, name := range names {
+				rp, err := syncBenchFor(p, []int{row.Hosts}, []encSpec{{name, guardOpts[name]}})
+				if err != nil {
+					return err
+				}
+				nr := rp.Results[0]
+				for j := range cur.Results {
+					cr := &cur.Results[j]
+					if cr.Hosts == row.Hosts && cr.Encoding == name && nr.NsPerOp < cr.NsPerOp {
+						cr.NsPerOp = nr.NsPerOp
+						cr.NoiseNs = nr.NoiseNs
+					}
+				}
+				fmt.Fprintf(w, "  hosts=%d %s: %d ns/op\n", row.Hosts, name, nr.NsPerOp)
 			}
-			fmt.Fprintf(w, "  hosts=%d %s: %d ns/op\n", row.Hosts, row.Encoding, cur.Results[i].NsPerOp)
 		}
 	}
-	baseRows := map[string]SyncBenchResult{}
-	for _, r := range base.Results {
-		baseRows[fmt.Sprintf("%d/%s", r.Hosts, r.Encoding)] = r
+	if opts.PerfDB != "" {
+		if comm, err := CommProbe(p, 2); err == nil {
+			cur.Comm = comm
+		} else {
+			fmt.Fprintf(w, "comm probe failed (history record carries timings only): %v\n", err)
+		}
+		if err := perfdb.Append(opts.PerfDB, cur.Record("sync-guard")); err != nil {
+			return fmt.Errorf("bench: recording guard measurement: %w", err)
+		}
+		fmt.Fprintf(w, "recorded to %s (gluon-perf shows the trajectory)\n", opts.PerfDB)
 	}
-	fmt.Fprintf(w, "%-6s %-8s %12s %12s %8s %10s %10s\n", "hosts", "encoding", "base ns/op", "cur ns/op", "delta", "base a/op", "cur a/op")
+	writeGuardTable(w, &base, cur, opts.Mode)
+	if opts.Mode == GuardAbs {
+		return CompareSyncBench(&base, cur, tol)
+	}
+	return CompareSyncRatios(&base, cur, tol)
+}
+
+// writeGuardTable prints the comparison the guard just gated on.
+func writeGuardTable(w io.Writer, base, cur *SyncBenchReport, mode GuardMode) {
+	baseIdx, curIdx := rowIndex(base), rowIndex(cur)
+	if mode == GuardRatio {
+		fmt.Fprintf(w, "%-6s %-14s %11s %11s %8s %7s %10s %10s\n",
+			"hosts", "tier", "base ratio", "cur ratio", "delta", "noise", "base a/op", "cur a/op")
+	} else {
+		fmt.Fprintf(w, "%-6s %-14s %12s %12s %8s %10s %10s\n",
+			"hosts", "tier", "base ns/op", "cur ns/op", "delta", "base a/op", "cur a/op")
+	}
 	for _, c := range cur.Results {
-		b := baseRows[fmt.Sprintf("%d/%s", c.Hosts, c.Encoding)]
-		delta := "n/a"
-		if b.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(float64(c.NsPerOp)/float64(b.NsPerOp)-1))
+		b := baseIdx[c.Name()]
+		if mode == GuardAbs {
+			delta := "n/a"
+			var bNs, bAllocs int64
+			if b != nil {
+				bNs, bAllocs = b.NsPerOp, b.AllocsPerOp
+				if b.NsPerOp > 0 {
+					delta = fmt.Sprintf("%+.1f%%", 100*(float64(c.NsPerOp)/float64(b.NsPerOp)-1))
+				}
+			}
+			fmt.Fprintf(w, "%-6d %-14s %12d %12d %8s %10d %10d\n",
+				c.Hosts, c.Encoding, bNs, c.NsPerOp, delta, bAllocs, c.AllocsPerOp)
+			continue
 		}
-		fmt.Fprintf(w, "%-6d %-8s %12d %12d %8s %10d %10d\n",
-			c.Hosts, c.Encoding, b.NsPerOp, c.NsPerOp, delta, b.AllocsPerOp, c.AllocsPerOp)
+		if c.Encoding == refEncoding {
+			var bAllocs int64
+			if b != nil {
+				bAllocs = b.AllocsPerOp
+			}
+			fmt.Fprintf(w, "%-6d %-14s %11s %11s %8s %7s %10d %10d   (%d ns/op reference)\n",
+				c.Hosts, c.Encoding, "1.000", "1.000", "ref", "", bAllocs, c.AllocsPerOp, c.NsPerOp)
+			continue
+		}
+		cRef := curIdx[(&SyncBenchResult{Hosts: c.Hosts, Encoding: refEncoding}).Name()]
+		bRef := baseIdx[(&SyncBenchResult{Hosts: c.Hosts, Encoding: refEncoding}).Name()]
+		ratioStr, baseStr, deltaStr, noiseStr := "n/a", "n/a", "n/a", ""
+		var bAllocs int64
+		if cRef != nil && cRef.NsPerOp > 0 {
+			cc := c
+			curRatio := float64(c.NsPerOp) / float64(cRef.NsPerOp)
+			ratioStr = fmt.Sprintf("%.3f", curRatio)
+			noiseStr = fmt.Sprintf("±%.1f%%", 100*(relNoise(&cc)+relNoise(cRef)))
+			if b != nil && bRef != nil && bRef.NsPerOp > 0 {
+				baseRatio := float64(b.NsPerOp) / float64(bRef.NsPerOp)
+				baseStr = fmt.Sprintf("%.3f", baseRatio)
+				deltaStr = fmt.Sprintf("%+.1f%%", 100*(curRatio/baseRatio-1))
+			}
+		}
+		if b != nil {
+			bAllocs = b.AllocsPerOp
+		}
+		fmt.Fprintf(w, "%-6d %-14s %11s %11s %8s %7s %10d %10d\n",
+			c.Hosts, c.Encoding, baseStr, ratioStr, deltaStr, noiseStr, bAllocs, c.AllocsPerOp)
 	}
-	return CompareSyncBench(&base, cur, tol)
 }
 
 // violatingRows returns indices into cur.Results whose row regresses
-// versus its baseline counterpart (time beyond tol, or any alloc growth).
-func violatingRows(base, cur *SyncBenchReport, tol float64) []int {
-	baseRows := map[string]SyncBenchResult{}
-	for _, r := range base.Results {
-		baseRows[fmt.Sprintf("%d/%s", r.Hosts, r.Encoding)] = r
-	}
+// versus its baseline counterpart under the given mode.
+func violatingRows(base, cur *SyncBenchReport, tol float64, mode GuardMode) []int {
 	var bad []int
-	for i, c := range cur.Results {
-		b, ok := baseRows[fmt.Sprintf("%d/%s", c.Hosts, c.Encoding)]
-		if !ok {
-			continue
+	if mode == GuardAbs {
+		baseIdx := rowIndex(base)
+		for i, c := range cur.Results {
+			b, ok := baseIdx[c.Name()]
+			if !ok {
+				continue
+			}
+			if c.AllocsPerOp > b.AllocsPerOp || float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol) {
+				bad = append(bad, i)
+			}
 		}
-		if c.AllocsPerOp > b.AllocsPerOp || float64(c.NsPerOp) > float64(b.NsPerOp)*(1+tol) {
-			bad = append(bad, i)
+		return bad
+	}
+	for _, v := range ratioViolations(base, cur, tol) {
+		for i, c := range cur.Results {
+			if c.Hosts == v.Hosts && c.Encoding == v.Encoding {
+				bad = append(bad, i)
+				break
+			}
 		}
 	}
 	return bad

@@ -1,0 +1,89 @@
+package perfdb
+
+// Host fingerprinting. A benchmark number is only comparable to another
+// number measured on the same class of machine; the fingerprint captures
+// exactly the dimensions that move the sync hot path's absolute ns/op —
+// CPU model, core count, the GOMAXPROCS the process actually ran with, and
+// the Go toolchain — and hashes them into a short stable ID that history
+// records and trend analysis group by. Everything else (load, thermals,
+// noisy neighbors) is noise, which the records carry separately as a MAD
+// estimate.
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// Fingerprint identifies the machine class a measurement was taken on.
+type Fingerprint struct {
+	// CPUModel is the hardware name ("model name" from /proc/cpuinfo on
+	// linux; GOARCH elsewhere or when the probe fails).
+	CPUModel string `json:"cpu_model"`
+	// Cores is runtime.NumCPU at probe time.
+	Cores int `json:"cores"`
+	// GOMAXPROCS is the scheduler width the measuring process ran with —
+	// it changes absolute timings even on identical hardware.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GoVersion is runtime.Version(): codegen changes shift baselines.
+	GoVersion string `json:"go_version"`
+	OS        string `json:"os"`
+	Arch      string `json:"arch"`
+}
+
+// Probe fingerprints the current host and process. Repeated probes on the
+// same host in the same process configuration return identical values.
+func Probe() Fingerprint {
+	return Fingerprint{
+		CPUModel:   cpuModel(),
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// ID is the short stable hash trend analysis and history grouping key on.
+func (f Fingerprint) ID() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%s|%d|%d|%s|%s|%s",
+		f.CPUModel, f.Cores, f.GOMAXPROCS, f.GoVersion, f.OS, f.Arch)))
+	return hex.EncodeToString(h[:])[:12]
+}
+
+// String renders the fingerprint for CLI output and gate errors.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%s (%s, %d cores, GOMAXPROCS=%d, %s %s/%s)",
+		f.ID(), f.CPUModel, f.Cores, f.GOMAXPROCS, f.GoVersion, f.OS, f.Arch)
+}
+
+// cpuModel reads the hardware name from /proc/cpuinfo; on non-linux hosts
+// (or a masked procfs) it degrades to the architecture, which still
+// separates machine classes coarsely.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		// x86 says "model name", arm says "Processor" or per-core
+		// "CPU part"; take the first name-like key.
+		for _, key := range []string{"model name", "Processor", "Hardware"} {
+			if strings.HasPrefix(line, key) {
+				if _, val, ok := strings.Cut(line, ":"); ok {
+					if v := strings.TrimSpace(val); v != "" {
+						return v
+					}
+				}
+			}
+		}
+	}
+	return runtime.GOARCH
+}

@@ -779,3 +779,43 @@ func (l *Ledger) WriteTable(w io.Writer) error {
 	fmt.Fprintln(w, "  (channels structurally elided never appear in a trace; the model undercounts those)")
 	return nil
 }
+
+// CommCounters is the compact comm-volume summary a perf-history record
+// carries alongside its timings: the ledger distilled to three trajectory
+// numbers, so `gluon-perf` can show whether a change moved bytes as well
+// as nanoseconds (DESIGN.md §4.9).
+type CommCounters struct {
+	// BytesPerRound is shipped wire bytes per attributed round.
+	BytesPerRound float64 `json:"bytes_per_round"`
+	// CompressionRatio is raw/shipped (1 = compression saved nothing).
+	CompressionRatio float64 `json:"compression_ratio"`
+	// InvariantSkipShare is the fraction of channel-rounds that shipped
+	// nothing, in [0,1].
+	InvariantSkipShare float64 `json:"invariant_skip_share"`
+}
+
+// Counters distills the ledger into its perf-history record form.
+func (l *Ledger) Counters() CommCounters {
+	var c CommCounters
+	if l.Rounds > 0 {
+		c.BytesPerRound = float64(l.ShippedBytes) / float64(l.Rounds)
+	}
+	if l.ShippedBytes > 0 {
+		c.CompressionRatio = float64(l.RawBytes) / float64(l.ShippedBytes)
+	}
+	if cr := uint64(l.Channels) * uint64(l.Rounds); cr > 0 {
+		c.InvariantSkipShare = float64(l.SilentChannelRounds) / float64(cr)
+	}
+	return c
+}
+
+// LedgerOf attributes a live single-process session offline and returns
+// its effectiveness ledger — the plumbing from an instrumented probe run
+// to a perf-history record.
+func LedgerOf(t *Trace) Ledger {
+	events, _ := t.Snapshot()
+	b := NewCriticalBuilder()
+	b.Ingest(events, 0)
+	b.FinalizeAll()
+	return b.Ledger()
+}

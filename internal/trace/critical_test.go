@@ -349,3 +349,52 @@ func TestCriticalWriteTables(t *testing.T) {
 		}
 	}
 }
+
+// TestLedgerCounters: the perf-history distillation of the ledger —
+// bytes/round, raw/shipped compression ratio, and the silent share over
+// channel-rounds — matches the golden timeline's hand-computed model.
+func TestLedgerCounters(t *testing.T) {
+	ev := goldenTimeline()
+	// 4th channel h0 -> 2 (field 7) shipping only in round 0, as in the
+	// invariant-skip test, so the skip share is nonzero.
+	ev = append(ev, Event{Start: 120, Dur: 5, Host: 0, Round: 0, Phase: PhaseEncode,
+		Peer: 2, Field: 7, Lane: 2, Value: 500, Mode: 1})
+	l := ComputeCriticalPath(Meta{}, ev).Ledger
+	c := l.Counters()
+	wantBPR := float64(l.ShippedBytes) / 2
+	if c.BytesPerRound != wantBPR {
+		t.Fatalf("bytes/round = %v, want %v", c.BytesPerRound, wantBPR)
+	}
+	wantComp := float64(l.RawBytes) / float64(l.ShippedBytes)
+	if c.CompressionRatio != wantComp || c.CompressionRatio <= 1 {
+		t.Fatalf("compression ratio = %v, want %v (> 1)", c.CompressionRatio, wantComp)
+	}
+	// 4 channels × 2 rounds, 1 silent.
+	if want := 1.0 / 8.0; c.InvariantSkipShare != want {
+		t.Fatalf("invariant skip share = %v, want %v", c.InvariantSkipShare, want)
+	}
+	var empty Ledger
+	if z := empty.Counters(); z != (CommCounters{}) {
+		t.Fatalf("zero ledger counters = %+v, want zeros", z)
+	}
+}
+
+// TestLedgerOf: the Trace -> Ledger convenience path used by the perf
+// probe attributes a live session the same as the offline compute.
+func TestLedgerOf(t *testing.T) {
+	tr := New(Config{Label: "ledgerof"})
+	for _, e := range goldenTimeline() {
+		rec := tr.Recorder(int(e.Host))
+		rec.SetRound(e.Round)
+		rec.Emit(e)
+	}
+	l := LedgerOf(tr)
+	events, _ := tr.Snapshot()
+	want := ComputeCriticalPath(Meta{}, events).Ledger
+	if l != want {
+		t.Fatalf("LedgerOf = %+v, want %+v", l, want)
+	}
+	if l.ShippedBytes == 0 || l.Rounds != 2 {
+		t.Fatalf("LedgerOf missed the session: %+v", l)
+	}
+}
